@@ -1,0 +1,32 @@
+"""Figure 13: number of multivariate data sets per training-time rank per toolkit.
+
+Paper result shape: the single-model statistical toolkits occupy the fastest
+ranks, the deep-learning toolkits the slowest, and AutoAI-TS the middle band.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import render_rank_histogram
+
+
+def test_figure13_multivariate_training_time_histogram(benchmark, multivariate_results):
+    summary = benchmark(multivariate_results.time_ranking)
+
+    print()
+    print(
+        render_rank_histogram(
+            summary, "Figure 13: data sets per training-time rank per toolkit (multivariate)"
+        )
+    )
+
+    histogram = summary.histogram.get("AutoAI-TS", {})
+    assert histogram, "AutoAI-TS must appear in the multivariate time ranking"
+    n_toolkits = len(summary.average_rank)
+    fastest = sum(count for rank, count in histogram.items() if rank == 1)
+    assert fastest <= sum(histogram.values()) // 2, (
+        "AutoAI-TS (which trains ten pipelines) should not dominate the fastest rank"
+    )
+    # The heavy neural toolkits should be clearly slower than AutoAI-TS on average.
+    ranks = summary.average_rank
+    heavy = [name for name in ("NBeats", "DeepAR") if name in ranks]
+    assert heavy and any(ranks[name] >= ranks["AutoAI-TS"] - n_toolkits * 0.25 for name in heavy)

@@ -1,0 +1,36 @@
+"""Figure 14: ranking of the ten internal AutoAI-TS pipelines on univariate data.
+
+Paper result shape: "no single model works best on all 62 data sets; in
+fact, the top 3 ranks have a spread of various models, which validates our
+hypothesis for having models from different model classes."  The
+reproduction checks that at least three distinct pipelines win on some data
+set (or finish in the top 2), i.e. model diversity pays off.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import render_rank_histogram
+
+
+def test_figure14_internal_pipeline_ranking_univariate(benchmark, internal_univariate_results):
+    summary = benchmark(internal_univariate_results.accuracy_ranking)
+
+    print()
+    print(
+        render_rank_histogram(
+            summary, "Figure 14: AutoAI-TS pipeline ranking (univariate data sets)"
+        )
+    )
+
+    winners = {name for name in summary.average_rank if summary.wins(name) > 0}
+    top2 = {
+        name
+        for name in summary.average_rank
+        if summary.count_at_rank(name, 1) + summary.count_at_rank(name, 2) > 0
+    }
+    assert len(winners) >= 2, f"expected several different winning pipelines, got {winners}"
+    assert len(top2) >= 3, (
+        f"expected the top-2 ranks to be spread over >=3 pipelines, got {top2}"
+    )
+    # Every pipeline of the inventory produced at least one successful run.
+    assert len(summary.average_rank) >= 8

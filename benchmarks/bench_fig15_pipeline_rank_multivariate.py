@@ -1,0 +1,33 @@
+"""Figure 15: ranking of the ten internal AutoAI-TS pipelines on multivariate data.
+
+Paper result shape: even with only nine multivariate data sets, "more than
+one model is ranked in top 3 spots" — diversity matters on multivariate data
+too.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import render_rank_histogram
+
+
+def test_figure15_internal_pipeline_ranking_multivariate(
+    benchmark, internal_multivariate_results
+):
+    summary = benchmark(internal_multivariate_results.accuracy_ranking)
+
+    print()
+    print(
+        render_rank_histogram(
+            summary, "Figure 15: AutoAI-TS pipeline ranking (multivariate data sets)"
+        )
+    )
+
+    top3 = {
+        name
+        for name in summary.average_rank
+        if any(summary.count_at_rank(name, rank) > 0 for rank in (1, 2, 3))
+    }
+    assert len(top3) >= 2, (
+        f"expected the top-3 ranks to be occupied by more than one pipeline, got {top3}"
+    )
+    assert len(summary.average_rank) >= 6

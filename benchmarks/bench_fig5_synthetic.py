@@ -1,0 +1,64 @@
+"""Figure 5 / Experiment 1: AutoAI-TS on the synthetic signal data set.
+
+The paper trains on 1700 points and tests on 300, showing that the selected
+pipelines capture (a) increasing-amplitude cosine, (b) cosine with outliers,
+(c) logarithmic increase with high variance and (d) dual seasonality, with
+"error between actual and predicted value for all time series below 1%" on
+the clean signals.
+
+The benchmark times one full AutoAI-TS zero-conf run on a synthetic signal
+and then reports SMAPE for the four Figure 5 signals.  Signal lengths are
+scaled down from 2000 to 600 samples in the fast profile so the whole
+experiment stays laptop-sized; the train/test proportions (85% / 15%) match
+the paper's 1700/300 split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoAITS
+from repro.data.synthetic import FIGURE5_SIGNALS, synthetic_signal
+from repro.metrics import smape
+
+_LENGTH = 600
+_TEST_POINTS = 90  # same 15% proportion as the paper's 300-of-2000
+_HORIZON = 12
+
+#: SMAPE targets per signal: the clean periodic signals should be captured
+#: almost exactly (paper: <1% error); the noisy/outlier signals only need to
+#: be modelled sensibly (the paper's point is robustness, not exactness).
+_TARGETS = {
+    "increasing_amplitude_cosine": 12.0,
+    "cosine_with_outliers": 12.0,
+    "logarithmic_high_variance": 40.0,
+    "dual_seasonality": 5.0,
+}
+
+
+def _evaluate_signal(name: str) -> float:
+    series = synthetic_signal(name, length=_LENGTH)
+    train, test = series[:-_TEST_POINTS], series[-_TEST_POINTS:]
+    model = AutoAITS(prediction_horizon=_HORIZON).fit(train)
+    forecast = model.predict(_TEST_POINTS).ravel()
+    return smape(test, forecast)
+
+
+def test_figure5_synthetic_signals(benchmark):
+    # Time one representative zero-conf run (signal (d): dual seasonality).
+    def run_once():
+        return _evaluate_signal("dual_seasonality")
+
+    timed_smape = benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+    print()
+    print("Figure 5 / Experiment 1: AutoAI-TS on synthetic signals")
+    results = {}
+    for name in FIGURE5_SIGNALS:
+        error = timed_smape if name == "dual_seasonality" else _evaluate_signal(name)
+        results[name] = error
+        print(f"  {name:<32s} SMAPE = {error:6.2f}   (target < {_TARGETS[name]:.0f})")
+
+    for name, error in results.items():
+        assert np.isfinite(error)
+        assert error < _TARGETS[name], f"{name}: SMAPE {error:.2f} above target"

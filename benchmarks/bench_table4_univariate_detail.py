@@ -1,0 +1,34 @@
+"""Table 4: per-dataset SMAPE (and training seconds) of all 11 toolkits, univariate.
+
+Regenerates the "smape (seconds)" detail rows for the univariate suite (the
+fast profile uses a representative, size-capped subset of the 62 data sets —
+set REPRO_BENCH_PROFILE=full for the whole suite).  The structural checks
+mirror the paper's table conventions: every toolkit appears in every row,
+failed runs are shown as "0 (0)", and AutoAI-TS completes every data set.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarking import render_detail_table
+
+
+def test_table4_univariate_detail(benchmark, univariate_results):
+    table = benchmark(
+        lambda: render_detail_table(
+            univariate_results,
+            "Table 4: SMAPE (training seconds) per univariate data set",
+        )
+    )
+
+    print()
+    print(table)
+
+    datasets = univariate_results.dataset_names
+    toolkits = univariate_results.toolkit_names
+    assert len(toolkits) == 11  # AutoAI-TS + 10 SOTA toolkits
+    for dataset in datasets:
+        for toolkit in toolkits:
+            assert univariate_results.run_for(toolkit, dataset) is not None
+    # AutoAI-TS must finish on every data set of the suite (the paper's
+    # AutoAI-TS column has no 0(0) entries).
+    assert univariate_results.failure_count("AutoAI-TS") == 0

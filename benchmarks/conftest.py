@@ -1,0 +1,86 @@
+"""Shared benchmark fixtures.
+
+The paper's evaluation is one large toolkit-by-dataset matrix; recomputing it
+inside every figure/table benchmark would multiply hours of work.  Instead the
+three expensive matrices (univariate toolkits, multivariate toolkits, internal
+pipelines) are computed **once per pytest session** here, using the laptop
+FAST profile, and every ``bench_*`` module derives its figure or table from
+the shared results.  The per-benchmark timed body is then the (cheap but
+real) work specific to that artifact: ranking aggregation, table rendering or
+a representative model fit.
+
+Set the environment variable ``REPRO_BENCH_PROFILE=full`` to run the
+paper-scale matrix instead (hours, all 62 + 9 data sets at full length).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmarking import (
+    BenchmarkRunner,
+    FAST_PROFILE,
+    FULL_PROFILE,
+    autoai_toolkit_factories,
+    internal_pipeline_factories,
+    profile_multivariate_datasets,
+    profile_univariate_datasets,
+    sota_toolkit_factories,
+)
+
+
+def _active_profile():
+    if os.environ.get("REPRO_BENCH_PROFILE", "fast").lower() == "full":
+        return FULL_PROFILE
+    return FAST_PROFILE
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return _active_profile()
+
+
+@pytest.fixture(scope="session")
+def univariate_datasets(profile):
+    return profile_univariate_datasets(profile)
+
+
+@pytest.fixture(scope="session")
+def multivariate_datasets(profile):
+    return profile_multivariate_datasets(profile)
+
+
+@pytest.fixture(scope="session")
+def all_toolkits():
+    """AutoAI-TS plus the ten SOTA toolkits (11 columns of Tables 4/5)."""
+    return {**autoai_toolkit_factories(), **sota_toolkit_factories()}
+
+
+@pytest.fixture(scope="session")
+def univariate_results(profile, univariate_datasets, all_toolkits):
+    """Toolkit x univariate-dataset matrix behind Figures 6-9 and Table 4."""
+    runner = BenchmarkRunner(horizon=profile.horizon, verbose=False)
+    return runner.run(univariate_datasets, all_toolkits)
+
+
+@pytest.fixture(scope="session")
+def multivariate_results(profile, multivariate_datasets, all_toolkits):
+    """Toolkit x multivariate-dataset matrix behind Figures 10-13 and Table 5."""
+    runner = BenchmarkRunner(horizon=profile.horizon, verbose=False)
+    return runner.run(multivariate_datasets, all_toolkits)
+
+
+@pytest.fixture(scope="session")
+def internal_univariate_results(profile, univariate_datasets):
+    """Internal-pipeline x univariate-dataset matrix behind Figure 14."""
+    runner = BenchmarkRunner(horizon=profile.horizon, verbose=False)
+    return runner.run(univariate_datasets, internal_pipeline_factories())
+
+
+@pytest.fixture(scope="session")
+def internal_multivariate_results(profile, multivariate_datasets):
+    """Internal-pipeline x multivariate-dataset matrix behind Figure 15 / Table 6."""
+    runner = BenchmarkRunner(horizon=profile.horizon, verbose=False)
+    return runner.run(multivariate_datasets, internal_pipeline_factories())

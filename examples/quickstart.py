@@ -1,0 +1,57 @@
+"""Quickstart: zero-conf forecasting with AutoAI-TS.
+
+The zero-conf promise of the paper: "the user simply drops-in their data set
+and the system transparently performs all the complex tasks of feature
+engineering, training, parameter tuning, model ranking and returns one or
+more of the best performing trained models ready for prediction."
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoAITS
+from repro.metrics import smape
+
+
+def make_monthly_sales_series(n_months: int = 240) -> np.ndarray:
+    """A retail-style monthly series: trend + yearly seasonality + noise."""
+    t = np.arange(n_months, dtype=float)
+    rng = np.random.default_rng(2024)
+    return (
+        500.0
+        + 2.5 * t                                   # steady growth
+        + 80.0 * np.sin(2.0 * np.pi * t / 12.0)     # yearly seasonality
+        + rng.normal(0.0, 15.0, n_months)           # observation noise
+    )
+
+
+def main() -> None:
+    series = make_monthly_sales_series()
+    horizon = 12
+
+    # Hold out the final year so we can check the forecast afterwards.
+    train, actual_future = series[:-horizon], series[-horizon:]
+
+    # --- the entire AutoAI-TS API surface: construct, fit, predict ----------
+    model = AutoAITS(prediction_horizon=horizon, verbose=True)
+    model.fit(train)
+    forecast = model.predict(horizon)          # shape (12, 1): rows = future steps
+
+    # -------------------------------------------------------------------------
+    print()
+    print(model.summary())
+    print()
+    print(f"{'month':>5s} {'forecast':>12s} {'actual':>12s}")
+    for step, (predicted, actual) in enumerate(zip(forecast.ravel(), actual_future), start=1):
+        print(f"{step:>5d} {predicted:>12.1f} {actual:>12.1f}")
+    print()
+    print(f"holdout SMAPE of the selected pipeline: {smape(actual_future, forecast):.2f}")
+    print(f"selected pipeline: {model.best_pipeline_name_}")
+    print(f"discovered look-back window: {model.lookback_}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup script (legacy path) so editable installs work without the wheel package."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="Reproduction of AutoAI-TS: AutoAI for Time Series Forecasting (SIGMOD 2021)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

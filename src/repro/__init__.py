@@ -1,0 +1,36 @@
+"""Reproduction of "AutoAI-TS: AutoAI for Time Series Forecasting" (SIGMOD 2021).
+
+The package is organised into substrates (``ml``, ``forecasters``,
+``hybrid``, ``dl``, ``transforms``, ``stats``, ``timeutils``), the core
+zero-conf system (``core``: AutoAITS, T-Daub, look-back discovery, pipeline
+registry), the evaluation machinery (``metrics``, ``data``, ``baselines``,
+``benchmarking``).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import AutoAITS
+>>> series = np.sin(np.arange(200) / 5.0) + np.arange(200) * 0.01
+>>> model = AutoAITS(prediction_horizon=12).fit(series)
+>>> forecast = model.predict(12)          # shape (12, 1)
+"""
+
+from .core.autoai_ts import AutoAITS
+from .core.base import clone
+from .core.pipeline import ForecastingPipeline
+from .core.registry import PipelineRegistry, default_pipeline_inventory
+from .core.tdaub import TDaub
+from .metrics.errors import smape
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AutoAITS",
+    "TDaub",
+    "ForecastingPipeline",
+    "PipelineRegistry",
+    "default_pipeline_inventory",
+    "clone",
+    "smape",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Anomaly detection on time series (paper section 6 future work).
+
+The conclusion of the paper lists anomaly detection as the first planned
+extension of AutoAI-TS.  This package provides two detectors that reuse the
+existing forecasting substrates:
+
+* :class:`ForecastResidualDetector` — fit any forecaster (by default the
+  zero-conf :class:`~repro.core.autoai_ts.AutoAITS` pipeline winner can be
+  plugged in) on a rolling basis and flag observations whose one-step-ahead
+  residual is an outlier under a robust (median/MAD) z-score.
+* :class:`SeasonalESDDetector` — a seasonal-decomposition + generalised
+  extreme studentised deviate detector in the spirit of Twitter's
+  AnomalyDetection package, suitable for the NAB-style monitoring traces in
+  the benchmark suite.
+"""
+
+from .detectors import AnomalyResult, ForecastResidualDetector, SeasonalESDDetector
+
+__all__ = ["AnomalyResult", "ForecastResidualDetector", "SeasonalESDDetector"]

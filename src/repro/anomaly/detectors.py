@@ -1,0 +1,228 @@
+"""Residual-based and seasonal-ESD anomaly detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .._validation import as_1d_array, check_fraction, check_positive_int
+from ..core.base import BaseEstimator, BaseForecaster, check_is_fitted, clone
+from ..exceptions import InvalidParameterError
+from ..forecasters.naive import SeasonalNaiveForecaster
+from ..stats.spectral import dominant_period
+
+__all__ = ["AnomalyResult", "ForecastResidualDetector", "SeasonalESDDetector"]
+
+
+@dataclass
+class AnomalyResult:
+    """Outcome of an anomaly-detection pass over one series.
+
+    Attributes
+    ----------
+    indices:
+        Positions of the observations flagged as anomalous, ascending.
+    scores:
+        Anomaly score per observation (higher = more anomalous); the same
+        length as the input series.
+    threshold:
+        The score threshold above which observations were flagged.
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+    threshold: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean mask over the input series (True = anomalous)."""
+        mask = np.zeros(len(self.scores), dtype=bool)
+        mask[self.indices] = True
+        return mask
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _robust_zscores(residuals: np.ndarray) -> np.ndarray:
+    """Median/MAD standardised residuals (0.6745 makes MAD sigma-consistent)."""
+    median = float(np.median(residuals))
+    mad = float(np.median(np.abs(residuals - median)))
+    if mad <= 1e-12:
+        spread = float(np.std(residuals))
+        if spread <= 1e-12:
+            return np.zeros_like(residuals)
+        return np.abs(residuals - median) / spread
+    return 0.6745 * np.abs(residuals - median) / mad
+
+
+class ForecastResidualDetector(BaseEstimator):
+    """Flag points whose one-step-ahead forecast residual is a robust outlier.
+
+    Parameters
+    ----------
+    forecaster:
+        Any library forecaster; a clone is refitted on each training window.
+        Defaults to a seasonal-naive model with an auto-detected period,
+        which is cheap and surprisingly hard to beat for anomaly screening.
+    threshold:
+        Robust z-score above which a point is flagged (3.5 is the usual
+        Iglewicz-Hoaglin recommendation).
+    warmup_fraction:
+        Initial fraction of the series used purely for the first fit; points
+        inside the warm-up are never flagged.
+    refit_every:
+        Number of steps between refits of the forecaster as the detector
+        walks forward through the series (larger = faster, smaller = more
+        adaptive).
+    """
+
+    def __init__(
+        self,
+        forecaster: BaseForecaster | None = None,
+        threshold: float = 3.5,
+        warmup_fraction: float = 0.3,
+        refit_every: int = 25,
+    ):
+        self.forecaster = forecaster
+        self.threshold = threshold
+        self.warmup_fraction = warmup_fraction
+        self.refit_every = refit_every
+
+    def _default_forecaster(self, series: np.ndarray) -> BaseForecaster:
+        period = dominant_period(series, max_period=max(len(series) // 3, 2)) or 1
+        return SeasonalNaiveForecaster(seasonal_period=max(period, 1), horizon=1)
+
+    def fit_detect(self, series) -> AnomalyResult:
+        """Run the walk-forward detection over the whole series."""
+        if self.threshold <= 0:
+            raise InvalidParameterError("threshold must be positive.")
+        check_fraction(self.warmup_fraction, "warmup_fraction")
+        check_positive_int(self.refit_every, "refit_every")
+
+        series = as_1d_array(series, name="series")
+        n_samples = len(series)
+        warmup = max(int(self.warmup_fraction * n_samples), 8)
+        if n_samples <= warmup + 2:
+            raise InvalidParameterError(
+                f"Series of length {n_samples} is too short for warmup={warmup}."
+            )
+
+        template = self.forecaster if self.forecaster is not None else self._default_forecaster(
+            series
+        )
+
+        residuals = np.zeros(n_samples)
+        model = None
+        last_fit_at = 0
+        for t in range(warmup, n_samples):
+            if model is None or (t - last_fit_at) >= int(self.refit_every):
+                model = clone(template)
+                if hasattr(model, "horizon"):
+                    model.horizon = 1
+                model.fit(series[:t].reshape(-1, 1))
+                last_fit_at = t
+            # Between refits the model state stays at ``last_fit_at``; forecast
+            # far enough ahead that the prediction aligns with time ``t``.
+            steps_ahead = t - last_fit_at + 1
+            prediction = float(np.asarray(model.predict(steps_ahead)).ravel()[-1])
+            residuals[t] = series[t] - prediction
+
+        scores = np.zeros(n_samples)
+        active = residuals[warmup:]
+        scores[warmup:] = _robust_zscores(active)
+        indices = np.where(scores > float(self.threshold))[0]
+
+        self.result_ = AnomalyResult(
+            indices=indices,
+            scores=scores,
+            threshold=float(self.threshold),
+            extras={"warmup": warmup, "forecaster": type(template).__name__},
+        )
+        return self.result_
+
+
+class SeasonalESDDetector(BaseEstimator):
+    """Seasonal decomposition + generalised ESD anomaly detector.
+
+    The series is decomposed into a seasonal profile (per-phase medians at
+    the detected period) plus a median level; the generalised extreme
+    studentised deviate (ESD) test is then applied to the remainder, flagging
+    up to ``max_anomalies_fraction`` of the points at significance ``alpha``.
+    """
+
+    def __init__(
+        self,
+        seasonal_period: int | None = None,
+        max_anomalies_fraction: float = 0.05,
+        alpha: float = 0.05,
+    ):
+        self.seasonal_period = seasonal_period
+        self.max_anomalies_fraction = max_anomalies_fraction
+        self.alpha = alpha
+
+    def _deseasonalise(self, series: np.ndarray) -> tuple[np.ndarray, int]:
+        period = self.seasonal_period
+        if period is None:
+            period = dominant_period(series, max_period=max(len(series) // 3, 2)) or 1
+        period = max(int(period), 1)
+        if period < 2 or period * 2 > len(series):
+            return series - np.median(series), 1
+        profile = np.zeros(period)
+        for phase in range(period):
+            profile[phase] = float(np.median(series[phase::period]))
+        phases = np.arange(len(series)) % period
+        return series - profile[phases] - float(np.median(series - profile[phases])), period
+
+    def fit_detect(self, series) -> AnomalyResult:
+        """Run the detection and return the flagged indices."""
+        check_fraction(self.max_anomalies_fraction, "max_anomalies_fraction")
+        check_fraction(self.alpha, "alpha")
+        series = as_1d_array(series, name="series")
+        n_samples = len(series)
+        if n_samples < 10:
+            raise InvalidParameterError("Need at least 10 observations for ESD detection.")
+
+        remainder, period = self._deseasonalise(series)
+        max_anomalies = max(1, int(self.max_anomalies_fraction * n_samples))
+
+        # Generalised ESD: repeatedly remove the most extreme point and test
+        # its studentised deviate against the critical value.
+        working = remainder.copy()
+        available = np.arange(n_samples)
+        flagged: list[int] = []
+        for iteration in range(1, max_anomalies + 1):
+            spread = working.std(ddof=1) if len(working) > 1 else 0.0
+            if spread <= 1e-12:
+                break
+            deviations = np.abs(working - working.mean())
+            worst_local = int(np.argmax(deviations))
+            test_statistic = deviations[worst_local] / spread
+
+            remaining = len(working)
+            p = 1.0 - self.alpha / (2.0 * remaining)
+            t_critical = scipy_stats.t.ppf(p, remaining - 2)
+            critical = ((remaining - 1) * t_critical) / np.sqrt(
+                (remaining - 2 + t_critical**2) * remaining
+            )
+            if test_statistic <= critical:
+                break
+            flagged.append(int(available[worst_local]))
+            working = np.delete(working, worst_local)
+            available = np.delete(available, worst_local)
+
+        scores = np.zeros(n_samples)
+        spread = remainder.std(ddof=1) if n_samples > 1 else 1.0
+        if spread > 1e-12:
+            scores = np.abs(remainder - remainder.mean()) / spread
+
+        self.result_ = AnomalyResult(
+            indices=np.array(sorted(flagged), dtype=int),
+            scores=scores,
+            threshold=float(scores[flagged].min()) if flagged else float("inf"),
+            extras={"seasonal_period": period},
+        )
+        return self.result_

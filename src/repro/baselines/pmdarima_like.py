@@ -1,0 +1,95 @@
+"""pmdarima-style baseline: seasonal auto-ARIMA with Table 3 defaults.
+
+pmdarima's ``auto_arima`` searches (p, d, q) x (P, D, Q, m) orders; the
+paper runs it with ``start_p=1, start_q=1, max_p=3, max_q=3, m=12,
+seasonal=True, d=1, D=1``.  The reproduction composes the same structure
+from this library's ARIMA substrate:
+
+1. one round of seasonal differencing at period ``m`` (D=1),
+2. the auto-order ARIMA search (p, q <= 3) on the seasonally differenced
+   series with first differencing (d=1 behaviour handled by the order
+   search), and
+3. inversion of the seasonal difference when forecasting.
+
+Its cost profile follows pmdarima (slow on long series because of the order
+search) and its accuracy profile is strong on seasonal monthly-style data,
+which is where the paper reports pmdarima ranking near the top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon
+from ..core.base import BaseForecaster, check_is_fitted
+from ..forecasters.arima import AutoARIMAForecaster
+
+__all__ = ["PmdarimaLike"]
+
+
+class PmdarimaLike(BaseForecaster):
+    """Seasonal auto-ARIMA (pmdarima-style defaults)."""
+
+    def __init__(
+        self,
+        m: int = 12,
+        max_p: int = 3,
+        max_q: int = 3,
+        seasonal: bool = True,
+        D: int = 1,
+        horizon: int = 1,
+    ):
+        self.m = m
+        self.max_p = max_p
+        self.max_q = max_q
+        self.seasonal = seasonal
+        self.D = D
+        self.horizon = horizon
+
+    def _fit_single(self, series: np.ndarray) -> dict:
+        m = int(self.m)
+        use_seasonal = bool(self.seasonal) and int(self.D) > 0 and len(series) > 3 * m
+
+        if use_seasonal:
+            seasonal_tail = series[-m:]
+            differenced = series[m:] - series[:-m]
+        else:
+            seasonal_tail = None
+            differenced = series
+
+        arima = AutoARIMAForecaster(
+            max_p=int(self.max_p), max_q=int(self.max_q), horizon=self.horizon
+        )
+        arima.fit(differenced.reshape(-1, 1))
+        return {"arima": arima, "seasonal_tail": seasonal_tail, "m": m}
+
+    def fit(self, X, y=None) -> "PmdarimaLike":
+        X = as_2d_array(X)
+        self.models_ = [self._fit_single(X[:, j]) for j in range(X.shape[1])]
+        self.n_series_ = X.shape[1]
+        return self
+
+    def _predict_single(self, model: dict, horizon: int) -> np.ndarray:
+        base_forecast = model["arima"].predict(horizon).ravel()
+        if model["seasonal_tail"] is None:
+            return base_forecast
+        # Invert the seasonal difference: y[t] = diff[t] + y[t - m].
+        m = model["m"]
+        history = list(model["seasonal_tail"])
+        forecasts = []
+        for step in range(horizon):
+            value = base_forecast[step] + history[step] if step < len(history) else (
+                base_forecast[step] + forecasts[step - m]
+            )
+            forecasts.append(value)
+        return np.asarray(forecasts)
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("models_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        columns = [self._predict_single(model, horizon) for model in self.models_]
+        return np.column_stack(columns)
+
+    @property
+    def name(self) -> str:
+        return "PMDArima"

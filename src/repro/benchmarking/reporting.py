@@ -1,0 +1,101 @@
+"""Text rendering of the paper's tables and figures.
+
+The paper reports results as detail tables ("smape (seconds)" per data set
+and toolkit — Tables 4, 5, 6), average-rank bar charts (Figures 6, 8, 10,
+12) and per-rank histograms (Figures 7, 9, 11, 13-15).  These renderers
+produce the same content as aligned text so the benchmark harness can print
+paper-comparable artifacts without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.ranking import RankSummary, rank_histogram
+from .results import BenchmarkResults
+
+__all__ = [
+    "render_detail_table",
+    "render_average_rank_figure",
+    "render_rank_histogram",
+    "render_training_time_figure",
+]
+
+
+def _order_toolkits(results: BenchmarkResults, summary: RankSummary) -> list[str]:
+    ordered = summary.ordered_toolkits()
+    # Toolkits that never produced a successful run still deserve a column.
+    missing = [name for name in results.toolkit_names if name not in ordered]
+    return ordered + missing
+
+
+def render_detail_table(
+    results: BenchmarkResults,
+    title: str,
+    toolkit_order: Sequence[str] | None = None,
+) -> str:
+    """Per-dataset "smape (seconds)" detail table (Tables 4, 5 and 6)."""
+    order = list(toolkit_order) if toolkit_order else _order_toolkits(
+        results, results.accuracy_ranking()
+    )
+    name_width = max([len(name) for name in results.dataset_names] + [7]) + 2
+    column_width = max([len(name) for name in order] + [16]) + 2
+
+    lines = [title, ""]
+    header = f"{'Index':>5s}  {'Dataset':<{name_width}s}" + "".join(
+        f"{name:>{column_width}s}" for name in order
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, dataset in enumerate(results.dataset_names, start=1):
+        cells = []
+        for toolkit in order:
+            run = results.run_for(toolkit, dataset)
+            cells.append(run.table_cell if run is not None else "-")
+        lines.append(
+            f"{index:>5d}  {dataset:<{name_width}s}"
+            + "".join(f"{cell:>{column_width}s}" for cell in cells)
+        )
+    return "\n".join(lines)
+
+
+def _render_bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(width * value / scale)) if scale > 0 else 0
+    return "#" * max(filled, 1)
+
+
+def render_average_rank_figure(summary: RankSummary, title: str) -> str:
+    """Average-rank bar chart (Figures 6 and 10; smaller bar = better)."""
+    lines = [title, ""]
+    if not summary.average_rank:
+        return "\n".join(lines + ["(no successful runs)"])
+    worst = max(summary.average_rank.values())
+    for name in summary.ordered_toolkits():
+        value = summary.average_rank[name]
+        lines.append(f"{name:<18s} {value:5.2f}  {_render_bar(value, worst)}")
+    lines.append("")
+    lines.append(f"(average rank over {summary.n_datasets} data sets; lower is better)")
+    return "\n".join(lines)
+
+
+def render_training_time_figure(summary: RankSummary, title: str) -> str:
+    """Average training-time-rank chart (Figures 8 and 12)."""
+    return render_average_rank_figure(summary, title)
+
+
+def render_rank_histogram(summary: RankSummary, title: str, max_rank: int | None = None) -> str:
+    """Number-of-datasets-per-rank histogram (Figures 7, 9, 11, 13, 14, 15)."""
+    lines = [title, ""]
+    dense = rank_histogram(summary, max_rank=max_rank)
+    if not dense:
+        return "\n".join(lines + ["(no successful runs)"])
+    n_ranks = len(next(iter(dense.values())))
+    header = f"{'toolkit/pipeline':<36s}" + "".join(f"  r{rank:<3d}" for rank in range(1, n_ranks + 1))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in summary.ordered_toolkits():
+        counts = dense.get(name, [0] * n_ranks)
+        lines.append(f"{name:<36s}" + "".join(f"  {count:<4d}" for count in counts))
+    lines.append("")
+    lines.append("(cell = number of data sets on which the toolkit achieved that rank)")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Result containers for benchmark runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..metrics.ranking import RankSummary, average_ranks, rank_toolkits
+
+__all__ = ["ToolkitRun", "BenchmarkResults"]
+
+
+@dataclass
+class ToolkitRun:
+    """Outcome of one toolkit on one data set.
+
+    A failed run mirrors the paper's "0 (0)" convention: SMAPE and seconds
+    are stored as 0 and the run is excluded from rankings.
+    """
+
+    toolkit: str
+    dataset: str
+    smape: float
+    train_seconds: float
+    failed: bool = False
+    error: str = ""
+
+    @property
+    def table_cell(self) -> str:
+        """Cell text in the Tables 4/5/6 format: ``smape (seconds)``."""
+        if self.failed:
+            return "0 (0)"
+        return f"{self.smape:.2f} ({self.train_seconds:.2f})"
+
+
+@dataclass
+class BenchmarkResults:
+    """All runs of one benchmark, with ranking helpers."""
+
+    horizon: int
+    runs: List[ToolkitRun] = field(default_factory=list)
+
+    # -- bookkeeping -----------------------------------------------------------
+    def add(self, run: ToolkitRun) -> None:
+        self.runs.append(run)
+
+    @property
+    def dataset_names(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.dataset not in seen:
+                seen.append(run.dataset)
+        return seen
+
+    @property
+    def toolkit_names(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.toolkit not in seen:
+                seen.append(run.toolkit)
+        return seen
+
+    def run_for(self, toolkit: str, dataset: str) -> ToolkitRun | None:
+        for run in self.runs:
+            if run.toolkit == toolkit and run.dataset == dataset:
+                return run
+        return None
+
+    # -- metric extraction -------------------------------------------------------
+    def _per_dataset_values(self, attribute: str) -> Dict[str, Dict[str, float]]:
+        values: Dict[str, Dict[str, float]] = {}
+        for run in self.runs:
+            if run.failed:
+                continue
+            values.setdefault(run.dataset, {})[run.toolkit] = float(getattr(run, attribute))
+        return values
+
+    def smape_table(self) -> Dict[str, Dict[str, float]]:
+        """``{dataset: {toolkit: smape}}`` for successful runs."""
+        return self._per_dataset_values("smape")
+
+    def time_table(self) -> Dict[str, Dict[str, float]]:
+        """``{dataset: {toolkit: train_seconds}}`` for successful runs."""
+        return self._per_dataset_values("train_seconds")
+
+    # -- rankings -----------------------------------------------------------------
+    def _rank_summary(self, attribute: str) -> RankSummary:
+        per_dataset = []
+        for dataset in self.dataset_names:
+            scores = self._per_dataset_values(attribute).get(dataset, {})
+            per_dataset.append(rank_toolkits(scores, lower_is_better=True))
+        return average_ranks(per_dataset)
+
+    def accuracy_ranking(self) -> RankSummary:
+        """SMAPE-based ranking across data sets (Figures 6/7 and 10/11)."""
+        return self._rank_summary("smape")
+
+    def time_ranking(self) -> RankSummary:
+        """Training-time ranking across data sets (Figures 8/9 and 12/13)."""
+        return self._rank_summary("train_seconds")
+
+    def average_smape(self, toolkit: str) -> float:
+        values = [run.smape for run in self.runs if run.toolkit == toolkit and not run.failed]
+        return float(np.mean(values)) if values else float("nan")
+
+    def failure_count(self, toolkit: str) -> int:
+        return sum(1 for run in self.runs if run.toolkit == toolkit and run.failed)

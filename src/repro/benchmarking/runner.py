@@ -1,0 +1,121 @@
+"""Benchmark runner: shared splits, timing, failure handling.
+
+"The benchmarking mechanism ... enables us to run experiments both on our
+system, i.e., AutoAI-TS as well as on the 10 SOTA frameworks with the same
+train-test split to get comparative performance results" (section 5).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from .._validation import as_2d_array, check_fraction, check_horizon
+from ..core.base import BaseForecaster
+from ..metrics.errors import smape
+from .results import BenchmarkResults, ToolkitRun
+
+__all__ = ["BenchmarkRunner"]
+
+ToolkitFactory = Callable[[int], BaseForecaster]
+
+
+class BenchmarkRunner:
+    """Run a set of toolkits over a set of data sets with shared splits.
+
+    Parameters
+    ----------
+    horizon:
+        Number of future values every toolkit must predict (paper: 12).
+    train_fraction:
+        Fraction of each series used for training (paper: 80%).
+    evaluation_window:
+        Number of holdout points scored with SMAPE; defaults to ``horizon``.
+    max_train_seconds:
+        Soft per-run budget.  A run that exceeds it is *kept* (we cannot
+        preempt Python), but the overrun is recorded so reports can flag it;
+        set it to ``None`` to disable the check.
+    verbose:
+        Print one line per (dataset, toolkit) pair as the matrix runs.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 12,
+        train_fraction: float = 0.8,
+        evaluation_window: int | None = None,
+        max_train_seconds: float | None = None,
+        verbose: bool = False,
+    ):
+        self.horizon = check_horizon(horizon)
+        self.train_fraction = check_fraction(train_fraction, "train_fraction")
+        self.evaluation_window = evaluation_window
+        self.max_train_seconds = max_train_seconds
+        self.verbose = verbose
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[benchmark] {message}")
+
+    def split(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """80/20 (by default) temporal split shared by every toolkit."""
+        data = as_2d_array(data)
+        n_train = int(round(len(data) * self.train_fraction))
+        n_train = min(max(n_train, 1), len(data) - 1)
+        return data[:n_train], data[n_train:]
+
+    def evaluate_toolkit(
+        self, factory: ToolkitFactory, train: np.ndarray, test: np.ndarray
+    ) -> tuple[float, float, str]:
+        """Fit one toolkit and return ``(smape, seconds, error_message)``."""
+        window = self.evaluation_window or self.horizon
+        window = min(window, len(test))
+        start = time.perf_counter()
+        try:
+            model = factory(self.horizon)
+            model.fit(train)
+            elapsed = time.perf_counter() - start
+            forecast = np.asarray(model.predict(window), dtype=float)
+            if forecast.ndim == 1:
+                forecast = forecast.reshape(-1, 1)
+            if not np.all(np.isfinite(forecast)):
+                raise ValueError("forecast contains non-finite values")
+            error = smape(test[:window], forecast[:window])
+            return float(error), float(elapsed), ""
+        except Exception as exc:  # noqa: BLE001 - failures become "0 (0)" entries
+            elapsed = time.perf_counter() - start
+            return 0.0, float(elapsed), repr(exc)
+
+    def run(
+        self,
+        datasets: Mapping[str, np.ndarray],
+        toolkits: Mapping[str, ToolkitFactory],
+    ) -> BenchmarkResults:
+        """Run every toolkit on every data set and collect the results."""
+        results = BenchmarkResults(horizon=self.horizon)
+        for dataset_name, data in datasets.items():
+            train, test = self.split(data)
+            for toolkit_name, factory in toolkits.items():
+                error, seconds, failure = self.evaluate_toolkit(factory, train, test)
+                failed = bool(failure)
+                if (
+                    not failed
+                    and self.max_train_seconds is not None
+                    and seconds > self.max_train_seconds
+                ):
+                    failure = f"exceeded budget of {self.max_train_seconds}s"
+                results.add(
+                    ToolkitRun(
+                        toolkit=toolkit_name,
+                        dataset=dataset_name,
+                        smape=0.0 if failed else error,
+                        train_seconds=0.0 if failed else seconds,
+                        failed=failed,
+                        error=failure,
+                    )
+                )
+                status = "FAILED" if failed else f"SMAPE={error:7.2f}"
+                self._log(f"{dataset_name:<28s} {toolkit_name:<18s} {status} ({seconds:6.2f}s)")
+        return results

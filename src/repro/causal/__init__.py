@@ -1,0 +1,11 @@
+"""Causal analysis of time series (paper section 6 future work).
+
+Pairwise Granger-causality testing between the columns of a multivariate
+data set plus a causal-graph builder on top of networkx, so users can ask
+"which series help predict which" before deciding what to feed the
+multivariate pipelines.
+"""
+
+from .granger import CausalGraphResult, GrangerResult, build_causal_graph, granger_causality
+
+__all__ = ["GrangerResult", "granger_causality", "CausalGraphResult", "build_causal_graph"]

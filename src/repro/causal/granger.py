@@ -1,0 +1,155 @@
+"""Granger causality tests and causal-graph construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .._validation import as_1d_array, as_2d_array, check_positive_int
+from ..exceptions import InvalidParameterError
+
+__all__ = ["GrangerResult", "granger_causality", "CausalGraphResult", "build_causal_graph"]
+
+
+@dataclass
+class GrangerResult:
+    """Outcome of one Granger-causality test ("does X help predict Y?").
+
+    Attributes
+    ----------
+    f_statistic, p_value:
+        The restricted-vs-unrestricted F test.
+    lags:
+        Number of lags included.
+    causal:
+        Convenience flag: ``p_value < alpha`` used at test time.
+    """
+
+    f_statistic: float
+    p_value: float
+    lags: int
+    causal: bool
+
+
+def _lagged_design(target: np.ndarray, source: np.ndarray | None, lags: int) -> tuple[np.ndarray, np.ndarray]:
+    """Design matrix of target lags (and optionally source lags) plus targets."""
+    n = len(target)
+    rows = n - lags
+    columns = [np.ones(rows)]
+    for lag in range(1, lags + 1):
+        columns.append(target[lags - lag : n - lag])
+    if source is not None:
+        for lag in range(1, lags + 1):
+            columns.append(source[lags - lag : n - lag])
+    return np.column_stack(columns), target[lags:]
+
+
+def _sse(design: np.ndarray, response: np.ndarray) -> float:
+    coefficients, _, _, _ = np.linalg.lstsq(design, response, rcond=None)
+    residuals = response - design @ coefficients
+    return float(np.sum(residuals**2))
+
+
+def granger_causality(source, target, lags: int = 4, alpha: float = 0.05) -> GrangerResult:
+    """Test whether ``source`` Granger-causes ``target``.
+
+    Compares an autoregression of ``target`` on its own lags (restricted
+    model) against one that also includes ``source``'s lags (unrestricted
+    model) with the standard F test.
+    """
+    check_positive_int(lags, "lags")
+    source = as_1d_array(source, name="source")
+    target = as_1d_array(target, name="target")
+    n = min(len(source), len(target))
+    source, target = source[:n], target[:n]
+    if n < 3 * lags + 5:
+        raise InvalidParameterError(
+            f"Need at least {3 * lags + 5} observations for a {lags}-lag Granger test, got {n}."
+        )
+
+    restricted_design, response = _lagged_design(target, None, lags)
+    unrestricted_design, _ = _lagged_design(target, source, lags)
+
+    sse_restricted = _sse(restricted_design, response)
+    sse_unrestricted = _sse(unrestricted_design, response)
+
+    dof_numerator = lags
+    dof_denominator = len(response) - unrestricted_design.shape[1]
+    if dof_denominator <= 0 or sse_unrestricted <= 0:
+        return GrangerResult(f_statistic=0.0, p_value=1.0, lags=lags, causal=False)
+
+    f_statistic = ((sse_restricted - sse_unrestricted) / dof_numerator) / (
+        sse_unrestricted / dof_denominator
+    )
+    f_statistic = max(float(f_statistic), 0.0)
+    p_value = float(scipy_stats.f.sf(f_statistic, dof_numerator, dof_denominator))
+    return GrangerResult(
+        f_statistic=f_statistic, p_value=p_value, lags=lags, causal=bool(p_value < alpha)
+    )
+
+
+@dataclass
+class CausalGraphResult:
+    """Pairwise Granger-causality results over a multivariate data set."""
+
+    graph: nx.DiGraph
+    results: dict[tuple[str, str], GrangerResult] = field(default_factory=dict)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Significant source -> target relations, strongest first."""
+        return sorted(
+            self.graph.edges,
+            key=lambda edge: self.graph.edges[edge]["p_value"],
+        )
+
+    def drivers_of(self, target: str) -> list[str]:
+        """Series that Granger-cause ``target``."""
+        return sorted(self.graph.predecessors(target))
+
+
+def build_causal_graph(
+    data,
+    names: list[str] | None = None,
+    lags: int = 4,
+    alpha: float = 0.05,
+) -> CausalGraphResult:
+    """Run all pairwise Granger tests and build a directed causal graph.
+
+    Nodes are series names; an edge ``u -> v`` is added when ``u``
+    Granger-causes ``v`` at significance ``alpha`` (Bonferroni-corrected for
+    the number of ordered pairs).
+    """
+    data = as_2d_array(data, name="data")
+    n_series = data.shape[1]
+    if names is None:
+        names = [f"series_{index}" for index in range(n_series)]
+    if len(names) != n_series:
+        raise InvalidParameterError(
+            f"Got {len(names)} names for {n_series} series; they must match."
+        )
+
+    n_pairs = n_series * (n_series - 1)
+    corrected_alpha = alpha / max(n_pairs, 1)
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(names)
+    results: dict[tuple[str, str], GrangerResult] = {}
+    for source_index in range(n_series):
+        for target_index in range(n_series):
+            if source_index == target_index:
+                continue
+            result = granger_causality(
+                data[:, source_index], data[:, target_index], lags=lags, alpha=corrected_alpha
+            )
+            results[(names[source_index], names[target_index])] = result
+            if result.causal:
+                graph.add_edge(
+                    names[source_index],
+                    names[target_index],
+                    f_statistic=result.f_statistic,
+                    p_value=result.p_value,
+                )
+    return CausalGraphResult(graph=graph, results=results)

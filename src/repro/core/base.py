@@ -1,0 +1,236 @@
+"""Minimal scikit-learn style estimator framework.
+
+The paper (section 3, figure 1) exposes every model through a common
+``fit`` / ``predict`` / ``score`` contract and every transform through
+``fit`` / ``transform`` (plus ``inverse_transform`` for reversible ones).
+This module provides the base classes, parameter introspection
+(``get_params`` / ``set_params``) and :func:`clone`, which the orchestrator
+relies on to create fresh, unfitted copies of each pipeline for every
+T-Daub allocation.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, NotFittedError
+
+__all__ = [
+    "BaseEstimator",
+    "BaseForecaster",
+    "BaseTransformer",
+    "BaseRegressor",
+    "clone",
+    "check_is_fitted",
+]
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection for all estimators.
+
+    Subclasses must declare every hyper-parameter as an explicit keyword
+    argument of ``__init__`` and store it under the same attribute name —
+    the same convention scikit-learn uses — so that :func:`clone` and grid
+    search work uniformly across the library.
+    """
+
+    @classmethod
+    def _get_param_names(cls) -> Tuple[str, ...]:
+        init_signature = inspect.signature(cls.__init__)
+        names = [
+            name
+            for name, param in init_signature.parameters.items()
+            if name != "self" and param.kind != param.VAR_KEYWORD and param.kind != param.VAR_POSITIONAL
+        ]
+        return tuple(sorted(names))
+
+    def get_params(self, deep: bool = True) -> Dict[str, Any]:
+        """Return the estimator's hyper-parameters as a dictionary.
+
+        When ``deep`` is True, parameters of nested estimators are included
+        using the ``<component>__<parameter>`` convention.
+        """
+        params: Dict[str, Any] = {}
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            params[name] = value
+            if deep and isinstance(value, BaseEstimator):
+                for sub_name, sub_value in value.get_params(deep=True).items():
+                    params[f"{name}__{sub_name}"] = sub_value
+        return params
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters, supporting the nested ``a__b`` convention."""
+        if not params:
+            return self
+        valid = set(self._get_param_names())
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in params.items():
+            name, delim, sub_key = key.partition("__")
+            if name not in valid:
+                raise InvalidParameterError(
+                    f"Invalid parameter {name!r} for estimator "
+                    f"{type(self).__name__}. Valid parameters are: {sorted(valid)}."
+                )
+            if delim:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                setattr(self, name, value)
+        for name, sub_params in nested.items():
+            sub_estimator = getattr(self, name)
+            if not isinstance(sub_estimator, BaseEstimator):
+                raise InvalidParameterError(
+                    f"Cannot set nested parameters on non-estimator attribute {name!r}."
+                )
+            sub_estimator.set_params(**sub_params)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params(deep=False).items()))
+        return f"{type(self).__name__}({params})"
+
+    # -- fitted-state helpers ------------------------------------------------
+    def _fitted_attributes(self) -> Iterator[str]:
+        return (
+            name
+            for name in vars(self)
+            if name.endswith("_") and not name.startswith("__") and not name.endswith("__")
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        """True when at least one fitted attribute (trailing underscore) exists."""
+        return any(True for _ in self._fitted_attributes())
+
+
+def check_is_fitted(estimator: BaseEstimator, attributes: Tuple[str, ...] = ()) -> None:
+    """Raise :class:`NotFittedError` unless the estimator has been fitted."""
+    if attributes:
+        fitted = all(hasattr(estimator, attr) for attr in attributes)
+    else:
+        fitted = estimator.is_fitted
+    if not fitted:
+        raise NotFittedError(type(estimator).__name__)
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return a new unfitted estimator with the same hyper-parameters.
+
+    Nested estimators are cloned recursively; fitted state is dropped.
+    Lists/tuples of estimators (e.g. pipeline steps) are cloned element-wise.
+    """
+    if isinstance(estimator, (list, tuple)):
+        return type(estimator)(clone(item) for item in estimator)
+    if not isinstance(estimator, BaseEstimator):
+        return copy.deepcopy(estimator)
+    params = estimator.get_params(deep=False)
+    cloned_params = {}
+    for name, value in params.items():
+        if isinstance(value, BaseEstimator):
+            cloned_params[name] = clone(value)
+        elif isinstance(value, (list, tuple)) and any(
+            isinstance(item, BaseEstimator) for item in value
+        ):
+            cloned_params[name] = type(value)(clone(item) for item in value)
+        else:
+            cloned_params[name] = copy.deepcopy(value)
+    return type(estimator)(**cloned_params)
+
+
+class BaseForecaster(BaseEstimator):
+    """Base class for time series forecasters.
+
+    Implements the API of figure 1 in the paper: ``fit(X)`` learns from a
+    2-D array whose columns are time series, ``predict(horizon)`` returns a
+    2-D array with ``horizon`` rows (future values) and one column per input
+    series, and ``score`` evaluates SMAPE-based accuracy on held-out data.
+    """
+
+    #: default number of future steps produced when ``predict`` is called
+    #: without an explicit horizon.
+    default_horizon: int = 1
+
+    def fit(self, X, y=None) -> "BaseForecaster":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def score(self, X_true, horizon: int | None = None) -> float:
+        """Return the negative SMAPE of forecasts against ``X_true``.
+
+        Higher is better (0 is a perfect forecast), which lets T-Daub treat
+        every pipeline score uniformly as "larger is better".
+        """
+        from ..metrics.errors import smape
+
+        X_true = np.asarray(X_true, dtype=float)
+        if X_true.ndim == 1:
+            X_true = X_true.reshape(-1, 1)
+        steps = horizon if horizon is not None else X_true.shape[0]
+        predictions = self.predict(steps)
+        predictions = np.asarray(predictions, dtype=float)
+        if predictions.ndim == 1:
+            predictions = predictions.reshape(-1, 1)
+        rows = min(len(predictions), len(X_true))
+        return -smape(X_true[:rows], predictions[:rows])
+
+    @property
+    def name(self) -> str:
+        """Human readable name used by the registry and reports."""
+        return type(self).__name__
+
+
+class BaseTransformer(BaseEstimator):
+    """Base class for data transformers.
+
+    Stateless transforms (log, Box-Cox, ...) ignore ``fit``; stateful
+    transforms (difference, flatten, ...) remember what they need in order
+    to reverse the operation at prediction time (paper section 3).
+    """
+
+    #: whether the transformer retains state that must be reversed in order
+    #: (stateful transforms are inverted before stateless ones).
+    stateful: bool = False
+
+    def fit(self, X, y=None) -> "BaseTransformer":
+        return self
+
+    def transform(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Reverse the transformation; identity unless overridden."""
+        return np.asarray(X, dtype=float)
+
+
+class BaseRegressor(BaseEstimator):
+    """Base class for tabular (IID) regressors used inside ML pipelines.
+
+    These follow the classic supervised contract ``fit(X, y)`` /
+    ``predict(X)`` and are wrapped by window-based forecasters which convert
+    the time series into a supervised problem.
+    """
+
+    def fit(self, X, y) -> "BaseRegressor":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination (R^2) of predictions on ``X``."""
+        y = np.asarray(y, dtype=float).ravel()
+        predictions = np.asarray(self.predict(X), dtype=float).ravel()
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot

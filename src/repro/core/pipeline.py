@@ -1,0 +1,107 @@
+"""Forecasting pipeline: transforms + forecaster with automatic inversion.
+
+"The transformed data is passed to ML models for training.  At prediction
+time, we need to reverse transform the data output from the model to the
+original form and scale.  Therefore, inverse transformations are applied in
+the reverse order of application, i.e., the stateful inverse transformation
+followed by stateless inverse transformation." (paper section 3)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon
+from ..exceptions import PipelineExecutionError
+from .base import BaseForecaster, BaseTransformer, check_is_fitted, clone
+
+__all__ = ["ForecastingPipeline"]
+
+
+class ForecastingPipeline(BaseForecaster):
+    """Compose transformers with a final forecaster under one estimator API.
+
+    Parameters
+    ----------
+    steps:
+        Sequence of ``(name, transformer)`` pairs applied in order before the
+        forecaster.  Transformers whose :attr:`stateful` flag is False are
+        considered stateless (applied first, inverted last).
+    forecaster:
+        The final estimator implementing ``fit``/``predict``.
+    name_override:
+        Optional display name; defaults to the forecaster's name prefixed by
+        the transform names (e.g. ``"FlattenAutoEnsembler, log"``).
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[tuple[str, BaseTransformer]] = (),
+        forecaster: BaseForecaster | None = None,
+        name_override: str | None = None,
+    ):
+        self.steps = list(steps)
+        self.forecaster = forecaster
+        self.name_override = name_override
+
+    @property
+    def name(self) -> str:
+        if self.name_override:
+            return self.name_override
+        transform_names = [step_name for step_name, _ in self.steps]
+        base = self.forecaster.name if self.forecaster is not None else "pipeline"
+        if transform_names:
+            return f"{base}, {'+'.join(transform_names)}"
+        return base
+
+    def fit(self, X, y=None) -> "ForecastingPipeline":
+        if self.forecaster is None:
+            raise PipelineExecutionError(self.name, "fit", ValueError("missing forecaster"))
+        X = as_2d_array(X)
+        transformed = X
+        self.fitted_steps_ = []
+        try:
+            for step_name, transformer in self.steps:
+                fitted = clone(transformer)
+                transformed = fitted.fit_transform(transformed)
+                self.fitted_steps_.append((step_name, fitted))
+            self.fitted_forecaster_ = clone(self.forecaster)
+            self.fitted_forecaster_.fit(transformed)
+        except PipelineExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - converted into a library error
+            raise PipelineExecutionError(self.name, "fit", exc) from exc
+        self._n_series = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("fitted_forecaster_",))
+        horizon = check_horizon(horizon if horizon is not None else self.default_horizon)
+        try:
+            predictions = self.fitted_forecaster_.predict(horizon)
+            predictions = np.asarray(predictions, dtype=float)
+            if predictions.ndim == 1:
+                predictions = predictions.reshape(-1, 1)
+            # Inverse transforms in reverse order of application.
+            for _, transformer in reversed(self.fitted_steps_):
+                predictions = transformer.inverse_transform(predictions)
+        except PipelineExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - converted into a library error
+            raise PipelineExecutionError(self.name, "predict", exc) from exc
+        return predictions
+
+    def set_horizon(self, horizon: int) -> "ForecastingPipeline":
+        """Propagate a prediction horizon to the wrapped forecaster if supported."""
+        if self.forecaster is not None and hasattr(self.forecaster, "horizon"):
+            self.forecaster.horizon = int(horizon)
+        self.default_horizon = int(horizon)
+        return self
+
+    def set_lookback(self, lookback: int) -> "ForecastingPipeline":
+        """Propagate a look-back window length to the wrapped forecaster if supported."""
+        if self.forecaster is not None and hasattr(self.forecaster, "lookback"):
+            self.forecaster.lookback = int(lookback)
+        return self

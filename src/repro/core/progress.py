@@ -1,0 +1,66 @@
+"""Progress reporting for pipeline evaluation.
+
+"During T-Daub evaluation of pipelines, user is provided with the overall
+progress and performance of the evaluated pipelines, such progress is
+displayed on command line as well as on the web-UI" (paper section 4).  The
+reproduction keeps the command-line half: a lightweight reporter that the
+orchestrator calls at each stage and that renders a ranking table at the
+end.  It doubles as a structured event log the tests can inspect.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TextIO
+
+__all__ = ["ProgressReporter", "ProgressEvent"]
+
+
+@dataclass
+class ProgressEvent:
+    """One progress record: a stage label, message and timestamp offset."""
+
+    stage: str
+    message: str
+    elapsed_seconds: float
+
+
+@dataclass
+class ProgressReporter:
+    """Collects progress events and optionally echoes them to a stream."""
+
+    verbose: bool = False
+    stream: TextIO = field(default_factory=lambda: sys.stdout)
+    events: list[ProgressEvent] = field(default_factory=list)
+    _start: float = field(default_factory=time.perf_counter)
+
+    def report(self, stage: str, message: str) -> None:
+        """Record (and optionally print) one progress message."""
+        event = ProgressEvent(
+            stage=stage,
+            message=message,
+            elapsed_seconds=time.perf_counter() - self._start,
+        )
+        self.events.append(event)
+        if self.verbose:
+            print(f"[{event.elapsed_seconds:7.2f}s] {stage:<22s} {message}", file=self.stream)
+
+    def stages(self) -> list[str]:
+        """Distinct stage labels in the order they were first reported."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.stage not in seen:
+                seen.append(event.stage)
+        return seen
+
+    def render_ranking(self, rows: list[tuple[str, float, float]]) -> str:
+        """Format a pipeline ranking table (name, score, seconds)."""
+        lines = [f"{'rank':>4s}  {'pipeline':<40s} {'score':>10s} {'seconds':>9s}"]
+        for rank, (name, score, seconds) in enumerate(rows, start=1):
+            lines.append(f"{rank:>4d}  {name:<40s} {score:>10.4f} {seconds:>9.2f}")
+        table = "\n".join(lines)
+        if self.verbose:
+            print(table, file=self.stream)
+        return table

@@ -1,0 +1,267 @@
+"""Pipeline inventory: the ten pre-composed AutoAI-TS pipelines.
+
+"Currently, pre-composed pipelines are instantiated but the system can also
+dynamically generate new pipelines" (paper section 4).  The inventory matches
+Table 6 / Figures 14-15 of the paper:
+
+========================================  ===========================================
+Pipeline name                             Composition
+========================================  ===========================================
+``HW_Additive``                           Holt-Winters additive seasonality
+``HW_Multiplicative``                     Holt-Winters multiplicative seasonality
+``Arima``                                 auto-order ARIMA
+``bats``                                  Box-Cox + trend + seasonal + ARMA errors
+``MT2RForecaster``                        trend + residual VAR (multivariate hybrid)
+``WindowRandomForest``                    random forest over look-back windows
+``WindowSVR``                             SVR over look-back windows
+``FlattenAutoEnsembler, log``             log transform + flattened-window ensemble
+``DifferenceFlattenAutoEnsembler, log``   log transform + differenced-window ensemble
+``LocalizedFlattenAutoEnsembler``         localized-window ensemble
+========================================  ===========================================
+
+The registry also exposes named factories so users can register additional
+pipelines (e.g. the deep-learning candidates) without modifying the system,
+which is the extensibility property section 4 advertises ("about 80
+different pipelines" were tested with the same mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from ..dl.forecaster import MLPForecaster, NBeatsLikeForecaster
+from ..exceptions import InvalidParameterError
+from ..forecasters.arima import AutoARIMAForecaster
+from ..forecasters.bats import BATSForecaster
+from ..forecasters.holtwinters import HoltWintersForecaster
+from ..forecasters.theta import ThetaForecaster
+from ..hybrid.auto_ensembler import (
+    DifferenceFlattenAutoEnsembler,
+    FlattenAutoEnsembler,
+    LocalizedFlattenAutoEnsembler,
+)
+from ..hybrid.mt2r import MT2RForecaster
+from ..hybrid.window_regressor import WindowRandomForestForecaster, WindowSVRForecaster
+from ..transforms.stateless import LogTransform
+from .pipeline import ForecastingPipeline
+
+__all__ = [
+    "PipelineRegistry",
+    "default_pipeline_inventory",
+    "PAPER_PIPELINE_NAMES",
+]
+
+#: The ten pipeline names of the paper, in the order of Table 6.
+PAPER_PIPELINE_NAMES = (
+    "FlattenAutoEnsembler, log",
+    "WindowRandomForest",
+    "WindowSVR",
+    "MT2RForecaster",
+    "bats",
+    "DifferenceFlattenAutoEnsembler, log",
+    "LocalizedFlattenAutoEnsembler",
+    "Arima",
+    "HW_Additive",
+    "HW_Multiplicative",
+)
+
+PipelineFactory = Callable[[int, int, bool], ForecastingPipeline]
+
+
+def _maybe_log_steps(use_log: bool, allow_log: bool):
+    return [("log", LogTransform())] if use_log and allow_log else []
+
+
+def _build_default_factories() -> Dict[str, PipelineFactory]:
+    """Factories keyed by pipeline name.
+
+    Every factory has the signature ``(lookback, horizon, allow_log)`` and
+    returns a fresh, unfitted :class:`ForecastingPipeline`.
+    """
+
+    def flatten_auto_ensembler(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=_maybe_log_steps(True, allow_log),
+            forecaster=FlattenAutoEnsembler(lookback=lookback, horizon=horizon),
+            name_override="FlattenAutoEnsembler, log",
+        )
+
+    def difference_flatten_auto_ensembler(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=_maybe_log_steps(True, allow_log),
+            forecaster=DifferenceFlattenAutoEnsembler(lookback=lookback, horizon=horizon),
+            name_override="DifferenceFlattenAutoEnsembler, log",
+        )
+
+    def localized_flatten_auto_ensembler(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=LocalizedFlattenAutoEnsembler(lookback=lookback, horizon=horizon),
+            name_override="LocalizedFlattenAutoEnsembler",
+        )
+
+    def window_random_forest(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=WindowRandomForestForecaster(lookback=lookback, horizon=horizon),
+            name_override="WindowRandomForest",
+        )
+
+    def window_svr(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=WindowSVRForecaster(lookback=lookback, horizon=horizon),
+            name_override="WindowSVR",
+        )
+
+    def mt2r(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=MT2RForecaster(residual_lags=max(2, min(lookback, 8)), horizon=horizon),
+            name_override="MT2RForecaster",
+        )
+
+    def bats(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=BATSForecaster(horizon=horizon),
+            name_override="bats",
+        )
+
+    def arima(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=AutoARIMAForecaster(horizon=horizon),
+            name_override="Arima",
+        )
+
+    def hw_additive(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=HoltWintersForecaster(seasonal="additive", horizon=horizon),
+            name_override="HW_Additive",
+        )
+
+    def hw_multiplicative(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=HoltWintersForecaster(seasonal="multiplicative", horizon=horizon),
+            name_override="HW_Multiplicative",
+        )
+
+    return {
+        "FlattenAutoEnsembler, log": flatten_auto_ensembler,
+        "WindowRandomForest": window_random_forest,
+        "WindowSVR": window_svr,
+        "MT2RForecaster": mt2r,
+        "bats": bats,
+        "DifferenceFlattenAutoEnsembler, log": difference_flatten_auto_ensembler,
+        "LocalizedFlattenAutoEnsembler": localized_flatten_auto_ensembler,
+        "Arima": arima,
+        "HW_Additive": hw_additive,
+        "HW_Multiplicative": hw_multiplicative,
+    }
+
+
+def _build_optional_factories() -> Dict[str, PipelineFactory]:
+    """Extra (non-default) pipelines: deep learning and Theta candidates."""
+
+    def mlp(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=MLPForecaster(lookback=max(lookback, 4), horizon=horizon),
+            name_override="MLPForecaster",
+        )
+
+    def nbeats(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=NBeatsLikeForecaster(lookback=max(lookback, 4), horizon=horizon),
+            name_override="NBeatsLike",
+        )
+
+    def theta(lookback: int, horizon: int, allow_log: bool):
+        return ForecastingPipeline(
+            steps=[],
+            forecaster=ThetaForecaster(horizon=horizon),
+            name_override="Theta",
+        )
+
+    return {"MLPForecaster": mlp, "NBeatsLike": nbeats, "Theta": theta}
+
+
+class PipelineRegistry:
+    """Factory registry that instantiates the pipeline inventory.
+
+    The default registry knows the ten paper pipelines plus optional
+    deep-learning and Theta candidates.  New factories can be registered at
+    runtime; the orchestrator only relies on the common pipeline API.
+    """
+
+    def __init__(self, include_optional: bool = False):
+        self._factories: Dict[str, PipelineFactory] = dict(_build_default_factories())
+        self._optional: Dict[str, PipelineFactory] = dict(_build_optional_factories())
+        if include_optional:
+            self._factories.update(self._optional)
+
+    # -- registration ---------------------------------------------------------
+    def register(self, name: str, factory: PipelineFactory, overwrite: bool = False) -> None:
+        """Register a new pipeline factory under ``name``."""
+        if name in self._factories and not overwrite:
+            raise InvalidParameterError(f"Pipeline {name!r} is already registered.")
+        self._factories[name] = factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a pipeline factory."""
+        if name not in self._factories:
+            raise InvalidParameterError(f"Pipeline {name!r} is not registered.")
+        del self._factories[name]
+
+    def enable_optional(self, names: Iterable[str] | None = None) -> None:
+        """Enable some or all optional pipelines (DL / Theta candidates)."""
+        for name, factory in self._optional.items():
+            if names is None or name in set(names):
+                self._factories[name] = factory
+
+    @property
+    def names(self) -> list[str]:
+        """Registered pipeline names, paper pipelines first."""
+        ordered = [name for name in PAPER_PIPELINE_NAMES if name in self._factories]
+        extras = sorted(name for name in self._factories if name not in set(ordered))
+        return ordered + extras
+
+    # -- instantiation ----------------------------------------------------------
+    def create(
+        self, name: str, lookback: int = 8, horizon: int = 1, allow_log: bool = True
+    ) -> ForecastingPipeline:
+        """Instantiate one pipeline by name."""
+        if name not in self._factories:
+            raise InvalidParameterError(
+                f"Unknown pipeline {name!r}. Registered: {self.names}."
+            )
+        pipeline = self._factories[name](int(lookback), int(horizon), bool(allow_log))
+        pipeline.set_horizon(int(horizon))
+        return pipeline
+
+    def create_all(
+        self,
+        lookback: int = 8,
+        horizon: int = 1,
+        allow_log: bool = True,
+        names: Iterable[str] | None = None,
+    ) -> list[ForecastingPipeline]:
+        """Instantiate every registered pipeline (or the requested subset)."""
+        selected = list(names) if names is not None else self.names
+        return [
+            self.create(name, lookback=lookback, horizon=horizon, allow_log=allow_log)
+            for name in selected
+        ]
+
+
+def default_pipeline_inventory(
+    lookback: int = 8, horizon: int = 1, allow_log: bool = True
+) -> list[ForecastingPipeline]:
+    """Convenience helper returning the ten paper pipelines."""
+    return PipelineRegistry().create_all(
+        lookback=lookback, horizon=horizon, allow_log=allow_log
+    )

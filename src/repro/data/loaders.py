@@ -1,0 +1,95 @@
+"""CSV loading without pandas.
+
+The benchmarking framework of the paper (figure 4) "reads data from a mapped
+disk, cleans data and executes experiments".  Users of this reproduction can
+point the same machinery at their own CSV files through this loader, which
+handles an optional header row, an optional timestamp column and missing
+cells.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataQualityError
+
+__all__ = ["load_csv_series"]
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def load_csv_series(
+    path: str | Path,
+    value_columns: list[int] | None = None,
+    timestamp_column: int | None = None,
+    delimiter: str = ",",
+) -> tuple[np.ndarray, list[str] | None]:
+    """Load time series values (and optional timestamps) from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    value_columns:
+        Column indices holding series values.  Defaults to every column except
+        ``timestamp_column``.
+    timestamp_column:
+        Optional index of a timestamp column, returned as raw strings.
+    delimiter:
+        Field delimiter.
+
+    Returns
+    -------
+    values:
+        2-D float array ``(n_samples, n_series)``; unparsable cells become NaN.
+    timestamps:
+        List of timestamp strings or ``None`` when no timestamp column was given.
+
+    Raises
+    ------
+    DataQualityError
+        When the file is empty or contains no numeric data.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle, delimiter=delimiter) if row]
+    if not rows:
+        raise DataQualityError(f"CSV file {path} is empty.")
+
+    # Detect and drop a header row (any non-numeric cell outside the timestamp column).
+    first_row = rows[0]
+    data_start = 0
+    candidate_columns = range(len(first_row))
+    non_timestamp = [i for i in candidate_columns if i != timestamp_column]
+    if non_timestamp and not all(_is_number(first_row[i]) for i in non_timestamp if first_row[i]):
+        data_start = 1
+
+    data_rows = rows[data_start:]
+    if not data_rows:
+        raise DataQualityError(f"CSV file {path} contains a header but no data rows.")
+
+    n_columns = max(len(row) for row in data_rows)
+    if value_columns is None:
+        value_columns = [i for i in range(n_columns) if i != timestamp_column]
+
+    values = np.full((len(data_rows), len(value_columns)), np.nan)
+    timestamps: list[str] | None = [] if timestamp_column is not None else None
+    for row_index, row in enumerate(data_rows):
+        if timestamps is not None:
+            timestamps.append(row[timestamp_column] if timestamp_column < len(row) else "")
+        for output_index, column in enumerate(value_columns):
+            if column < len(row) and _is_number(row[column]):
+                values[row_index, output_index] = float(row[column])
+
+    if np.isnan(values).all():
+        raise DataQualityError(f"CSV file {path} contains no numeric data in the value columns.")
+    return values, timestamps

@@ -1,0 +1,160 @@
+"""The 21-signal synthetic data set of paper section 5.1.1.
+
+"The synthetic data set contains total of 2000 data points and has 21 time
+series (total of 42,000 samples) that have different known signals such as
+linearly increasing values, constants, linear increase with noise,
+exponential increase, inverse exponential, sine wave, cosine wave, sine and
+cosine wave with outliers, square wave function, sine and cosine signals
+with trend, log, exponential, wave form with dual seasonality etc."
+
+Experiment 1 (section 5.2 / figure 5) trains on 1700 points and tests on the
+final 300.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .generators import SignalSpec, compose_signal
+
+__all__ = [
+    "SYNTHETIC_LENGTH",
+    "SYNTHETIC_SIGNAL_NAMES",
+    "synthetic_signal",
+    "synthetic_dataset",
+    "FIGURE5_SIGNALS",
+]
+
+#: Total number of points per synthetic series (paper: 2000).
+SYNTHETIC_LENGTH = 2000
+
+_BASE_SPECS: dict[str, SignalSpec] = {
+    "linear_increase": SignalSpec(SYNTHETIC_LENGTH, level=10.0, trend=0.05),
+    "constant": SignalSpec(SYNTHETIC_LENGTH, level=42.0),
+    "linear_increase_noise": SignalSpec(SYNTHETIC_LENGTH, level=10.0, trend=0.05, noise_std=1.5),
+    "exponential_increase": SignalSpec(SYNTHETIC_LENGTH, level=5.0, exponential_rate=3.0),
+    "inverse_exponential": SignalSpec(SYNTHETIC_LENGTH, level=50.0, exponential_rate=-3.0),
+    "sine_wave": SignalSpec(
+        SYNTHETIC_LENGTH, level=20.0, seasonal_periods=(50.0,), seasonal_amplitudes=(5.0,)
+    ),
+    "cosine_wave": SignalSpec(
+        SYNTHETIC_LENGTH, level=20.0, seasonal_periods=(40.0,), seasonal_amplitudes=(6.0,)
+    ),
+    "sine_with_outliers": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=30.0,
+        seasonal_periods=(50.0,),
+        seasonal_amplitudes=(5.0,),
+        outlier_fraction=0.01,
+        outlier_scale=6.0,
+    ),
+    "cosine_with_outliers": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=30.0,
+        seasonal_periods=(40.0,),
+        seasonal_amplitudes=(6.0,),
+        outlier_fraction=0.01,
+        outlier_scale=6.0,
+    ),
+    "square_wave": SignalSpec(
+        SYNTHETIC_LENGTH, level=15.0, square_wave_period=60.0, square_wave_amplitude=4.0
+    ),
+    "sine_with_trend": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=10.0,
+        trend=0.03,
+        seasonal_periods=(50.0,),
+        seasonal_amplitudes=(5.0,),
+    ),
+    "cosine_with_trend": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=10.0,
+        trend=0.02,
+        seasonal_periods=(40.0,),
+        seasonal_amplitudes=(6.0,),
+    ),
+    "logarithmic_increase": SignalSpec(
+        SYNTHETIC_LENGTH, level=5.0, logarithmic_scale=8.0, noise_std=0.3
+    ),
+    "logarithmic_high_variance": SignalSpec(
+        SYNTHETIC_LENGTH, level=5.0, logarithmic_scale=8.0, noise_std=3.0
+    ),
+    "exponential_with_noise": SignalSpec(
+        SYNTHETIC_LENGTH, level=5.0, exponential_rate=2.5, noise_std=1.0
+    ),
+    "dual_seasonality": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=25.0,
+        seasonal_periods=(24.0, 168.0),
+        seasonal_amplitudes=(4.0, 8.0),
+    ),
+    "dual_seasonality_trend": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=25.0,
+        trend=0.01,
+        seasonal_periods=(24.0, 168.0),
+        seasonal_amplitudes=(4.0, 8.0),
+        noise_std=0.5,
+    ),
+    "increasing_amplitude_cosine": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=30.0,
+        seasonal_periods=(40.0,),
+        seasonal_amplitudes=(2.0,),
+        amplitude_growth=0.002,
+    ),
+    "noisy_random_walk": SignalSpec(
+        SYNTHETIC_LENGTH, level=100.0, random_walk_std=1.0, noise_std=0.5
+    ),
+    "quadratic_growth": SignalSpec(
+        SYNTHETIC_LENGTH, level=10.0, quadratic=2e-5, noise_std=0.5
+    ),
+    "seasonal_square_mix": SignalSpec(
+        SYNTHETIC_LENGTH,
+        level=20.0,
+        seasonal_periods=(30.0,),
+        seasonal_amplitudes=(3.0,),
+        square_wave_period=90.0,
+        square_wave_amplitude=2.0,
+        noise_std=0.3,
+    ),
+}
+
+#: Names of the 21 synthetic series.
+SYNTHETIC_SIGNAL_NAMES = tuple(_BASE_SPECS)
+
+#: The four signals visualised in figure 5 of the paper.
+FIGURE5_SIGNALS = (
+    "increasing_amplitude_cosine",  # (a) cosine with increasing amplitude
+    "cosine_with_outliers",         # (b) cosine with outliers
+    "logarithmic_high_variance",    # (c) logarithmic increase with variance
+    "dual_seasonality",             # (d) multiple seasons
+)
+
+
+def synthetic_signal(name: str, length: int | None = None, seed: int = 0) -> np.ndarray:
+    """Generate one named synthetic signal.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SYNTHETIC_SIGNAL_NAMES`.
+    length:
+        Optional override of the series length (default 2000, as in the paper).
+    seed:
+        Seed for the stochastic components.
+    """
+    if name not in _BASE_SPECS:
+        raise KeyError(f"Unknown synthetic signal {name!r}. Known: {SYNTHETIC_SIGNAL_NAMES}")
+    spec = _BASE_SPECS[name]
+    if length is not None:
+        spec = SignalSpec(**{**spec.__dict__, "length": int(length)})
+    return compose_signal(spec, seed=seed)
+
+
+def synthetic_dataset(length: int | None = None, seed: int = 0) -> dict[str, np.ndarray]:
+    """Generate all 21 synthetic series keyed by name."""
+    return {
+        name: synthetic_signal(name, length=length, seed=seed + index)
+        for index, name in enumerate(SYNTHETIC_SIGNAL_NAMES)
+    }

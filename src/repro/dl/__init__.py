@@ -1,0 +1,13 @@
+"""Numpy deep-learning substrate and DL forecasters.
+
+The paper includes deep-learning pipelines among the model classes managed
+by AutoAI-TS.  This package implements a small feed-forward network engine
+(dense layers, ReLU/tanh activations, Adam optimiser, mini-batch training)
+and the forecasters built on it: a windowed MLP forecaster and an
+N-BEATS-style doubly-residual forecaster.
+"""
+
+from .forecaster import MLPForecaster, NBeatsLikeForecaster
+from .network import FeedForwardNetwork
+
+__all__ = ["FeedForwardNetwork", "MLPForecaster", "NBeatsLikeForecaster"]

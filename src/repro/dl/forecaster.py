@@ -1,0 +1,240 @@
+"""Deep-learning forecasters.
+
+Two window-based neural forecasters complete the model classes of figure 1:
+
+* :class:`MLPForecaster` — a direct multi-horizon feed-forward network over
+  look-back windows (the generic "DL model" slot of the architecture).
+* :class:`NBeatsLikeForecaster` — a doubly-residual stack in the spirit of
+  N-BEATS: each block consumes the residual backcast of the previous block
+  and emits both a backcast and a forecast; forecasts are summed across
+  blocks.  Used both as an AutoAI-TS pipeline candidate and as the core of
+  the NBeats SOTA baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon, check_positive_int
+from ..core.base import BaseForecaster, check_is_fitted
+from ..transforms.window import make_supervised_windows
+from .network import FeedForwardNetwork
+
+__all__ = ["MLPForecaster", "NBeatsLikeForecaster"]
+
+
+def _standardise(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    mean = values.mean(axis=0)
+    scale = values.std(axis=0)
+    scale[scale == 0] = 1.0
+    return (values - mean) / scale, mean, scale
+
+
+class MLPForecaster(BaseForecaster):
+    """Direct multi-step forecaster backed by a feed-forward network.
+
+    The network maps a flattened look-back window of all series to the next
+    ``horizon`` values of all series in one shot (direct strategy, no error
+    accumulation across steps).
+    """
+
+    def __init__(
+        self,
+        lookback: int = 12,
+        horizon: int = 1,
+        hidden_layer_sizes: tuple[int, ...] = (64, 32),
+        epochs: int = 150,
+        learning_rate: float = 1e-3,
+        batch_size: int = 32,
+        random_state: int | None = 0,
+    ):
+        self.lookback = lookback
+        self.horizon = horizon
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def fit(self, X, y=None) -> "MLPForecaster":
+        X = as_2d_array(X)
+        lookback = check_positive_int(self.lookback, "lookback")
+        horizon = check_horizon(self.horizon)
+        # Shrink the window if the series is too short rather than failing.
+        max_lookback = max(1, len(X) - horizon - 1)
+        lookback = min(lookback, max_lookback)
+
+        features, targets = make_supervised_windows(X, lookback, horizon)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+
+        features_std, self._feature_mean, self._feature_scale = _standardise(features)
+        targets_std, self._target_mean, self._target_scale = _standardise(targets)
+
+        self.network_ = FeedForwardNetwork(
+            layer_sizes=(features.shape[1], *tuple(self.hidden_layer_sizes), targets.shape[1]),
+            learning_rate=self.learning_rate,
+            random_state=self.random_state,
+        )
+        self.network_.train(
+            features_std, targets_std, epochs=int(self.epochs), batch_size=int(self.batch_size)
+        )
+
+        self._lookback_used = lookback
+        self._n_series = X.shape[1]
+        self._last_window = X[-lookback:].copy()
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("network_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+
+        window = self._last_window.copy()
+        outputs: list[np.ndarray] = []
+        produced = 0
+        while produced < horizon:
+            features = window.reshape(1, -1)
+            features_std = (features - self._feature_mean) / self._feature_scale
+            prediction_std = self.network_.forward(features_std)
+            prediction = prediction_std * self._target_scale + self._target_mean
+            block = prediction.reshape(int(self.horizon), self._n_series)
+            outputs.append(block)
+            produced += block.shape[0]
+            # Roll the window forward with the freshly predicted values.
+            window = np.vstack([window, block])[-self._lookback_used :]
+        return np.vstack(outputs)[:horizon]
+
+
+class _NBeatsBlock:
+    """One block of the doubly-residual stack: backcast + forecast heads."""
+
+    def __init__(
+        self,
+        lookback: int,
+        horizon: int,
+        hidden_units: int,
+        learning_rate: float,
+        epochs: int,
+        random_state: int,
+    ):
+        self.lookback = lookback
+        self.horizon = horizon
+        self.epochs = epochs
+        self.network = FeedForwardNetwork(
+            layer_sizes=(lookback, hidden_units, hidden_units, lookback + horizon),
+            learning_rate=learning_rate,
+            random_state=random_state,
+        )
+
+    def fit(self, windows: np.ndarray, targets: np.ndarray) -> None:
+        joint_targets = np.hstack([windows, targets])
+        self.network.train(windows, joint_targets, epochs=self.epochs, batch_size=64)
+
+    def forward(self, windows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        joint = self.network.forward(windows)
+        return joint[:, : self.lookback], joint[:, self.lookback :]
+
+
+class NBeatsLikeForecaster(BaseForecaster):
+    """Doubly-residual basis-expansion forecaster (N-BEATS style).
+
+    Each block is trained to reconstruct the current residual window
+    (backcast) and forecast the horizon; the next block receives the
+    residual ``window - backcast``.  Forecasts from all blocks are summed.
+    Univariate per column: multivariate input is handled one series at a
+    time (as the original N-BEATS does).
+    """
+
+    def __init__(
+        self,
+        lookback: int = 24,
+        horizon: int = 1,
+        n_blocks: int = 3,
+        hidden_units: int = 64,
+        epochs: int = 100,
+        learning_rate: float = 1e-3,
+        random_state: int | None = 0,
+    ):
+        self.lookback = lookback
+        self.horizon = horizon
+        self.n_blocks = n_blocks
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def _fit_single_series(self, series: np.ndarray, lookback: int, horizon: int, seed: int):
+        features, targets = make_supervised_windows(
+            series.reshape(-1, 1), lookback, horizon
+        )
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+
+        features_std, feature_mean, feature_scale = _standardise(features)
+        targets_std = (targets - feature_mean.mean()) / feature_scale.mean()
+
+        blocks: list[_NBeatsBlock] = []
+        residual = features_std.copy()
+        for block_index in range(int(self.n_blocks)):
+            block = _NBeatsBlock(
+                lookback=lookback,
+                horizon=horizon,
+                hidden_units=int(self.hidden_units),
+                learning_rate=self.learning_rate,
+                epochs=int(self.epochs),
+                random_state=seed + block_index,
+            )
+            block.fit(residual, targets_std)
+            backcast, _ = block.forward(residual)
+            residual = residual - backcast
+            blocks.append(block)
+        return blocks, feature_mean, feature_scale
+
+    def fit(self, X, y=None) -> "NBeatsLikeForecaster":
+        X = as_2d_array(X)
+        horizon = check_horizon(self.horizon)
+        lookback = check_positive_int(self.lookback, "lookback")
+        lookback = min(lookback, max(1, len(X) - horizon - 1))
+
+        base_seed = 0 if self.random_state is None else int(self.random_state)
+        self._per_series = []
+        for column in range(X.shape[1]):
+            blocks, feature_mean, feature_scale = self._fit_single_series(
+                X[:, column], lookback, horizon, base_seed + 1000 * column
+            )
+            self._per_series.append((blocks, feature_mean, feature_scale))
+
+        self._lookback_used = lookback
+        self._horizon_trained = horizon
+        self._n_series = X.shape[1]
+        self._last_windows = X[-lookback:].copy()
+        self.fitted_ = True
+        return self
+
+    def _forecast_one(self, series_index: int, window: np.ndarray) -> np.ndarray:
+        blocks, feature_mean, feature_scale = self._per_series[series_index]
+        window_std = ((window - feature_mean) / feature_scale).reshape(1, -1)
+        forecast_std = np.zeros(self._horizon_trained)
+        residual = window_std
+        for block in blocks:
+            backcast, forecast = block.forward(residual)
+            residual = residual - backcast
+            forecast_std += forecast.ravel()
+        return forecast_std * feature_scale.mean() + feature_mean.mean()
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("fitted_",))
+        horizon = check_horizon(horizon if horizon is not None else self._horizon_trained)
+
+        forecasts = np.zeros((horizon, self._n_series))
+        for column in range(self._n_series):
+            window = self._last_windows[:, column].copy()
+            produced = 0
+            values: list[float] = []
+            while produced < horizon:
+                block_forecast = self._forecast_one(column, window)
+                values.extend(block_forecast.tolist())
+                produced += len(block_forecast)
+                window = np.concatenate([window, block_forecast])[-self._lookback_used :]
+            forecasts[:, column] = values[:horizon]
+        return forecasts

@@ -1,0 +1,29 @@
+"""Statistical forecasting models.
+
+The classical statistical family of the paper's pipeline inventory: naive
+baselines (including the Zero Model), exponential smoothing, Holt-Winters
+additive/multiplicative, ARIMA with automatic order selection, BATS and the
+Theta method.  Every forecaster estimates its own coefficients from the
+training data ("statistical models in our system automatically estimate
+coefficients and optimize parameters based on the input training data").
+"""
+
+from .arima import ARIMAForecaster, AutoARIMAForecaster
+from .bats import BATSForecaster
+from .ets import DoubleExponentialSmoothing, SimpleExponentialSmoothing
+from .holtwinters import HoltWintersForecaster
+from .naive import DriftForecaster, SeasonalNaiveForecaster, ZeroModelForecaster
+from .theta import ThetaForecaster
+
+__all__ = [
+    "ZeroModelForecaster",
+    "SeasonalNaiveForecaster",
+    "DriftForecaster",
+    "SimpleExponentialSmoothing",
+    "DoubleExponentialSmoothing",
+    "HoltWintersForecaster",
+    "ARIMAForecaster",
+    "AutoARIMAForecaster",
+    "BATSForecaster",
+    "ThetaForecaster",
+]

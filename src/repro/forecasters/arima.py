@@ -1,0 +1,273 @@
+"""ARIMA forecasting with automatic order selection.
+
+``ARIMAForecaster`` fits a fixed (p, d, q) order using the Hannan-Rissanen
+two-stage procedure (a long autoregression provides innovation estimates,
+then AR and MA coefficients are estimated jointly by least squares), which
+is fast, robust and needs no iterative likelihood optimisation.
+``AutoARIMAForecaster`` wraps it with the Box-Jenkins style automatic order
+search used by the "Arima" pipeline of the paper: ``d`` from repeated
+stationarity tests, ``p``/``q`` by AIC over a small grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon
+from ..core.base import BaseForecaster, check_is_fitted
+from ..exceptions import InvalidParameterError
+from ..stats.acf import yule_walker
+from ..stats.stattests import is_constant, ndiffs
+
+__all__ = ["ARIMAForecaster", "AutoARIMAForecaster"]
+
+
+def _difference(series: np.ndarray, d: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Difference ``d`` times, remembering the values needed to integrate back."""
+    history = []
+    current = series
+    for _ in range(d):
+        history.append(current.copy())
+        current = np.diff(current)
+    return current, history
+
+
+def _integrate(forecasts: np.ndarray, history: list[np.ndarray]) -> np.ndarray:
+    """Undo :func:`_difference` for a block of future forecasts."""
+    current = forecasts
+    for level in reversed(history):
+        current = np.cumsum(current) + level[-1]
+    return current
+
+
+def _enforce_stability(coefficients: np.ndarray, max_modulus: float = 0.97) -> np.ndarray:
+    """Shrink AR/MA coefficients until the characteristic roots are stable.
+
+    The Hannan-Rissanen least-squares stage can produce non-stationary AR or
+    non-invertible MA polynomials, whose recursions explode when used for
+    filtering or forecasting.  Scaling coefficient ``j`` by ``r**j`` scales
+    every root's modulus by ``r``, so one rescale is enough.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    if len(coefficients) == 0 or not np.all(np.isfinite(coefficients)):
+        return np.zeros_like(coefficients)
+    companion = np.zeros((len(coefficients), len(coefficients)))
+    companion[0, :] = coefficients
+    if len(coefficients) > 1:
+        companion[1:, :-1] = np.eye(len(coefficients) - 1)
+    moduli = np.abs(np.linalg.eigvals(companion))
+    largest = float(moduli.max()) if len(moduli) else 0.0
+    if largest <= max_modulus or largest == 0.0:
+        return coefficients
+    ratio = max_modulus / largest
+    powers = ratio ** np.arange(1, len(coefficients) + 1)
+    return coefficients * powers
+
+
+def _hannan_rissanen(series: np.ndarray, p: int, q: int) -> tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+    """Estimate ARMA(p, q) coefficients on a (stationary) series.
+
+    Returns ``(ar_coefficients, ma_coefficients, intercept, residuals)``.
+    """
+    n = len(series)
+    mean = float(np.mean(series))
+    centered = series - mean
+
+    if q == 0:
+        # Pure AR: Yule-Walker is stable and cheap.
+        if p == 0:
+            residuals = centered.copy()
+            return np.zeros(0), np.zeros(0), mean, residuals
+        ar, _ = yule_walker(centered, p)
+        ar = _enforce_stability(ar)
+        residuals = np.zeros(n)
+        for t in range(p, n):
+            prediction = np.dot(ar, centered[t - p : t][::-1])
+            residuals[t] = centered[t] - prediction
+        return ar, np.zeros(0), mean, residuals
+
+    # Stage 1: long AR to approximate the innovations.
+    long_order = min(max(p + q + 2, int(np.ceil(np.log(max(n, 2)) * 2))), max(n // 4, 1))
+    long_ar, _ = yule_walker(centered, long_order)
+    innovations = np.zeros(n)
+    for t in range(long_order, n):
+        prediction = np.dot(long_ar, centered[t - long_order : t][::-1])
+        innovations[t] = centered[t] - prediction
+
+    # Stage 2: regress the series on its own lags and lagged innovations.
+    start = max(p, q, long_order)
+    rows = n - start
+    if rows < p + q + 2:
+        # Not enough data for the requested order: fall back to pure AR.
+        return _hannan_rissanen(series, min(p, 1), 0)
+
+    design = np.empty((rows, p + q))
+    target = centered[start:]
+    for lag in range(1, p + 1):
+        design[:, lag - 1] = centered[start - lag : n - lag]
+    for lag in range(1, q + 1):
+        design[:, p + lag - 1] = innovations[start - lag : n - lag]
+
+    coefficients, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    ar = _enforce_stability(coefficients[:p])
+    ma = _enforce_stability(coefficients[p:])
+
+    # Recompute residuals with the final coefficients.
+    residuals = np.zeros(n)
+    for t in range(start, n):
+        ar_part = np.dot(ar, centered[t - p : t][::-1]) if p else 0.0
+        ma_part = np.dot(ma, residuals[t - q : t][::-1]) if q else 0.0
+        residuals[t] = centered[t] - ar_part - ma_part
+    return ar, ma, mean, residuals
+
+
+class ARIMAForecaster(BaseForecaster):
+    """ARIMA(p, d, q) with Hannan-Rissanen estimation.
+
+    Multivariate input is handled column-by-column (one independent ARIMA per
+    series), matching how the paper's statistical pipelines treat
+    multivariate data sets.
+    """
+
+    def __init__(self, p: int = 1, d: int = 0, q: int = 0, horizon: int = 1):
+        self.p = p
+        self.d = d
+        self.q = q
+        self.horizon = horizon
+
+    def _fit_single(self, series: np.ndarray) -> dict:
+        p, d, q = int(self.p), int(self.d), int(self.q)
+        if min(p, d, q) < 0:
+            raise InvalidParameterError("ARIMA orders must be non-negative.")
+        if len(series) <= d + max(p, q) + 1:
+            # Series too short for the requested order: degrade to a naive model.
+            return {"naive": True, "last_value": float(series[-1])}
+
+        differenced, history = _difference(series, d)
+        if is_constant(differenced):
+            return {
+                "naive": True,
+                "last_value": float(series[-1]),
+            }
+        ar, ma, mean, residuals = _hannan_rissanen(differenced, p, q)
+        sigma2 = float(np.var(residuals[max(p, q) :])) if len(residuals) else 0.0
+        n_params = p + q + 1
+        n_obs = max(len(differenced) - max(p, q), 1)
+        aic = n_obs * np.log(max(sigma2, 1e-12)) + 2 * n_params
+        return {
+            "naive": False,
+            "ar": ar,
+            "ma": ma,
+            "mean": mean,
+            "residuals": residuals,
+            "differenced": differenced,
+            "history": history,
+            "aic": float(aic),
+            "sigma2": sigma2,
+        }
+
+    def fit(self, X, y=None) -> "ARIMAForecaster":
+        X = as_2d_array(X)
+        self.models_ = [self._fit_single(X[:, j]) for j in range(X.shape[1])]
+        self.n_series_ = X.shape[1]
+        self.aic_ = float(
+            np.mean([model.get("aic", 0.0) for model in self.models_ if not model["naive"]])
+            if any(not model["naive"] for model in self.models_)
+            else np.inf
+        )
+        return self
+
+    def _forecast_single(self, model: dict, horizon: int) -> np.ndarray:
+        if model["naive"]:
+            return np.full(horizon, model["last_value"])
+        p, q = len(model["ar"]), len(model["ma"])
+        centered = model["differenced"] - model["mean"]
+        values = list(centered)
+        residuals = list(model["residuals"])
+        forecasts = []
+        for _ in range(horizon):
+            ar_part = (
+                np.dot(model["ar"], np.array(values[-p:])[::-1]) if p and len(values) >= p else 0.0
+            )
+            ma_part = (
+                np.dot(model["ma"], np.array(residuals[-q:])[::-1])
+                if q and len(residuals) >= q
+                else 0.0
+            )
+            prediction = ar_part + ma_part
+            forecasts.append(prediction)
+            values.append(prediction)
+            residuals.append(0.0)
+        forecasts = np.array(forecasts) + model["mean"]
+        return _integrate(forecasts, model["history"])
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("models_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        columns = [self._forecast_single(model, horizon) for model in self.models_]
+        return np.column_stack(columns)
+
+    @property
+    def name(self) -> str:
+        return "Arima"
+
+
+class AutoARIMAForecaster(BaseForecaster):
+    """Box-Jenkins style automatic ARIMA order selection.
+
+    ``d`` is chosen by repeated stationarity testing (KPSS/ADF-style
+    heuristic in :func:`repro.stats.stattests.ndiffs`), then a small grid of
+    (p, q) orders is scored by AIC and the best model per series is kept.
+    """
+
+    def __init__(
+        self,
+        max_p: int = 3,
+        max_q: int = 3,
+        max_d: int = 2,
+        horizon: int = 1,
+    ):
+        self.max_p = max_p
+        self.max_q = max_q
+        self.max_d = max_d
+        self.horizon = horizon
+
+    def _select_single(self, series: np.ndarray) -> ARIMAForecaster:
+        d = ndiffs(series, max_d=int(self.max_d))
+        best_model: ARIMAForecaster | None = None
+        best_aic = np.inf
+        for p in range(int(self.max_p) + 1):
+            for q in range(int(self.max_q) + 1):
+                if p == 0 and q == 0:
+                    continue
+                candidate = ARIMAForecaster(p=p, d=d, q=q, horizon=self.horizon)
+                try:
+                    candidate.fit(series.reshape(-1, 1))
+                except Exception:
+                    continue
+                if candidate.aic_ < best_aic:
+                    best_aic = candidate.aic_
+                    best_model = candidate
+        if best_model is None:
+            best_model = ARIMAForecaster(p=1, d=d, q=0, horizon=self.horizon)
+            best_model.fit(series.reshape(-1, 1))
+        return best_model
+
+    def fit(self, X, y=None) -> "AutoARIMAForecaster":
+        X = as_2d_array(X)
+        self.selected_models_ = [self._select_single(X[:, j]) for j in range(X.shape[1])]
+        self.orders_ = [
+            (model.p, model.d, model.q) for model in self.selected_models_
+        ]
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("selected_models_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        columns = [model.predict(horizon).ravel() for model in self.selected_models_]
+        return np.column_stack(columns)
+
+    @property
+    def name(self) -> str:
+        return "AutoARIMA"

@@ -1,0 +1,151 @@
+"""Simple and double (Holt) exponential smoothing.
+
+Building blocks for the Holt-Winters and BATS forecasters and usable as
+stand-alone pipeline candidates.  Smoothing parameters are optimised by
+minimising the in-sample one-step-ahead squared error with scipy's bounded
+optimiser, mirroring the state-space methodology referenced in the paper
+(Hyndman et al., "Forecasting with exponential smoothing").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import as_2d_array, check_horizon
+from ..core.base import BaseForecaster, check_is_fitted
+
+__all__ = ["SimpleExponentialSmoothing", "DoubleExponentialSmoothing"]
+
+
+def _ses_sse(alpha: float, series: np.ndarray) -> float:
+    level = series[0]
+    sse = 0.0
+    for value in series[1:]:
+        sse += (value - level) ** 2
+        level = alpha * value + (1 - alpha) * level
+    return sse
+
+
+def _holt_sse(params: np.ndarray, series: np.ndarray, damped: bool) -> float:
+    alpha, beta = params[0], params[1]
+    phi = params[2] if damped else 1.0
+    level = series[0]
+    trend = series[1] - series[0] if len(series) > 1 else 0.0
+    sse = 0.0
+    for value in series[1:]:
+        forecast = level + phi * trend
+        sse += (value - forecast) ** 2
+        new_level = alpha * value + (1 - alpha) * forecast
+        trend = beta * (new_level - level) + (1 - beta) * phi * trend
+        level = new_level
+    return sse
+
+
+class SimpleExponentialSmoothing(BaseForecaster):
+    """Exponentially weighted level model (flat forecast function)."""
+
+    def __init__(self, alpha: float | None = None, horizon: int = 1):
+        self.alpha = alpha
+        self.horizon = horizon
+
+    def _fit_single(self, series: np.ndarray) -> tuple[float, float]:
+        if self.alpha is not None:
+            alpha = float(np.clip(self.alpha, 1e-4, 1.0))
+        elif len(series) < 3 or np.ptp(series) == 0:
+            alpha = 0.5
+        else:
+            result = optimize.minimize_scalar(
+                _ses_sse, bounds=(1e-4, 1.0), args=(series,), method="bounded"
+            )
+            alpha = float(result.x)
+        level = series[0]
+        for value in series[1:]:
+            level = alpha * value + (1 - alpha) * level
+        return alpha, float(level)
+
+    def fit(self, X, y=None) -> "SimpleExponentialSmoothing":
+        X = as_2d_array(X)
+        fitted = [self._fit_single(X[:, j]) for j in range(X.shape[1])]
+        self.alphas_ = np.array([item[0] for item in fitted])
+        self.levels_ = np.array([item[1] for item in fitted])
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("levels_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        return np.tile(self.levels_, (horizon, 1))
+
+
+class DoubleExponentialSmoothing(BaseForecaster):
+    """Holt's linear (optionally damped) trend method."""
+
+    def __init__(
+        self,
+        alpha: float | None = None,
+        beta: float | None = None,
+        damped: bool = False,
+        horizon: int = 1,
+    ):
+        self.alpha = alpha
+        self.beta = beta
+        self.damped = damped
+        self.horizon = horizon
+
+    def _fit_single(self, series: np.ndarray) -> tuple[float, float, float, float, float]:
+        if len(series) < 4 or np.ptp(series) == 0:
+            alpha, beta, phi = 0.5, 0.1, 0.98 if self.damped else 1.0
+        elif self.alpha is not None and self.beta is not None:
+            alpha = float(np.clip(self.alpha, 1e-4, 1.0))
+            beta = float(np.clip(self.beta, 1e-4, 1.0))
+            phi = 0.98 if self.damped else 1.0
+        else:
+            if self.damped:
+                initial = np.array([0.5, 0.1, 0.95])
+                bounds = [(1e-4, 1.0), (1e-4, 1.0), (0.8, 1.0)]
+            else:
+                initial = np.array([0.5, 0.1])
+                bounds = [(1e-4, 1.0), (1e-4, 1.0)]
+            result = optimize.minimize(
+                _holt_sse,
+                initial,
+                args=(series, self.damped),
+                bounds=bounds,
+                method="L-BFGS-B",
+            )
+            alpha, beta = float(result.x[0]), float(result.x[1])
+            phi = float(result.x[2]) if self.damped else 1.0
+
+        level = series[0]
+        trend = series[1] - series[0] if len(series) > 1 else 0.0
+        for value in series[1:]:
+            forecast = level + phi * trend
+            new_level = alpha * value + (1 - alpha) * forecast
+            trend = beta * (new_level - level) + (1 - beta) * phi * trend
+            level = new_level
+        return alpha, beta, phi, float(level), float(trend)
+
+    def fit(self, X, y=None) -> "DoubleExponentialSmoothing":
+        X = as_2d_array(X)
+        fitted = [self._fit_single(X[:, j]) for j in range(X.shape[1])]
+        self.alphas_ = np.array([item[0] for item in fitted])
+        self.betas_ = np.array([item[1] for item in fitted])
+        self.phis_ = np.array([item[2] for item in fitted])
+        self.levels_ = np.array([item[3] for item in fitted])
+        self.trends_ = np.array([item[4] for item in fitted])
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("levels_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        forecasts = np.empty((horizon, self.n_series_))
+        for j in range(self.n_series_):
+            phi = self.phis_[j]
+            if phi == 1.0:
+                damping = np.arange(1, horizon + 1, dtype=float)
+            else:
+                damping = np.cumsum(phi ** np.arange(1, horizon + 1))
+            forecasts[:, j] = self.levels_[j] + damping * self.trends_[j]
+        return forecasts

@@ -1,0 +1,200 @@
+"""Holt-Winters triple exponential smoothing (additive and multiplicative).
+
+Two of the ten AutoAI-TS pipelines are ``HW_Additive`` and
+``HW_Multiplicative`` (figure 14/15).  The seasonal period is discovered
+automatically from the data when not supplied, and the three smoothing
+parameters are optimised by minimising the in-sample one-step-ahead squared
+error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import as_2d_array, check_horizon
+from ..core.base import BaseForecaster, check_is_fitted
+from ..exceptions import InvalidParameterError
+from ..stats.spectral import dominant_period
+
+__all__ = ["HoltWintersForecaster"]
+
+_SEASONAL_MODES = ("additive", "multiplicative")
+
+
+def _initial_state(series: np.ndarray, period: int, seasonal: str):
+    """Classical decomposition-style initial level, trend and seasonal terms."""
+    n_seasons = len(series) // period
+    if n_seasons >= 2:
+        first_season = series[:period]
+        second_season = series[period : 2 * period]
+        level = float(np.mean(first_season))
+        trend = float((np.mean(second_season) - np.mean(first_season)) / period)
+    else:
+        level = float(series[0])
+        trend = float((series[-1] - series[0]) / max(len(series) - 1, 1))
+
+    seasonals = np.zeros(period)
+    usable_seasons = max(n_seasons, 1)
+    for offset in range(period):
+        values = series[offset::period][:usable_seasons]
+        season_mean = float(np.mean(values)) if len(values) else level
+        if seasonal == "additive":
+            seasonals[offset] = season_mean - level
+        else:
+            seasonals[offset] = season_mean / level if level != 0 else 1.0
+    return level, trend, seasonals
+
+
+def _run_filter(
+    series: np.ndarray,
+    period: int,
+    seasonal: str,
+    alpha: float,
+    beta: float,
+    gamma: float,
+):
+    """Run the smoothing recursions; return (sse, level, trend, seasonals)."""
+    level, trend, seasonals = _initial_state(series, period, seasonal)
+    seasonals = seasonals.copy()
+    sse = 0.0
+    for t, value in enumerate(series):
+        season_index = t % period
+        if seasonal == "additive":
+            forecast = level + trend + seasonals[season_index]
+        else:
+            forecast = (level + trend) * seasonals[season_index]
+        sse += (value - forecast) ** 2
+
+        previous_level = level
+        if seasonal == "additive":
+            level = alpha * (value - seasonals[season_index]) + (1 - alpha) * (level + trend)
+            seasonals[season_index] = gamma * (value - level) + (1 - gamma) * seasonals[
+                season_index
+            ]
+        else:
+            divisor = seasonals[season_index] if seasonals[season_index] != 0 else 1e-10
+            level = alpha * (value / divisor) + (1 - alpha) * (level + trend)
+            level_divisor = level if level != 0 else 1e-10
+            seasonals[season_index] = gamma * (value / level_divisor) + (1 - gamma) * seasonals[
+                season_index
+            ]
+        trend = beta * (level - previous_level) + (1 - beta) * trend
+    return sse, level, trend, seasonals
+
+
+class HoltWintersForecaster(BaseForecaster):
+    """Triple exponential smoothing with additive or multiplicative seasonality.
+
+    Parameters
+    ----------
+    seasonal:
+        ``"additive"`` or ``"multiplicative"``.  Multiplicative seasonality
+        requires strictly positive data; the model falls back to additive
+        seasonality when the input violates that (and records the fallback in
+        ``effective_seasonal_``).
+    seasonal_period:
+        Number of observations per season; discovered from the data via
+        spectral analysis when ``None``.
+    """
+
+    def __init__(
+        self,
+        seasonal: str = "additive",
+        seasonal_period: int | None = None,
+        alpha: float | None = None,
+        beta: float | None = None,
+        gamma: float | None = None,
+        horizon: int = 1,
+    ):
+        self.seasonal = seasonal
+        self.seasonal_period = seasonal_period
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.horizon = horizon
+
+    def _resolve_period(self, series: np.ndarray) -> int:
+        if self.seasonal_period is not None:
+            period = int(self.seasonal_period)
+            if period < 2:
+                raise InvalidParameterError("seasonal_period must be >= 2.")
+        else:
+            period = dominant_period(series, max_period=len(series) // 2) or 0
+        if period < 2 or period * 2 > len(series):
+            # No usable seasonality: fall back to a short pseudo-season which
+            # reduces the model to (almost) Holt's linear trend.
+            period = 2 if len(series) >= 4 else 1
+        return max(period, 1)
+
+    def _fit_single(self, series: np.ndarray):
+        seasonal = self.seasonal
+        if seasonal == "multiplicative" and np.nanmin(series) <= 0:
+            seasonal = "additive"
+        period = self._resolve_period(series)
+
+        fixed = (self.alpha, self.beta, self.gamma)
+        if all(value is not None for value in fixed):
+            alpha, beta, gamma = (float(np.clip(v, 1e-4, 1.0)) for v in fixed)
+        elif len(series) < 2 * period or np.ptp(series) == 0:
+            alpha, beta, gamma = 0.5, 0.05, 0.1
+        else:
+            def objective(params: np.ndarray) -> float:
+                sse, _, _, _ = _run_filter(
+                    series, period, seasonal, params[0], params[1], params[2]
+                )
+                return sse
+
+            result = optimize.minimize(
+                objective,
+                np.array([0.3, 0.05, 0.1]),
+                bounds=[(1e-4, 1.0)] * 3,
+                method="L-BFGS-B",
+            )
+            alpha, beta, gamma = (float(v) for v in result.x)
+
+        _, level, trend, seasonals = _run_filter(series, period, seasonal, alpha, beta, gamma)
+        return {
+            "seasonal": seasonal,
+            "period": period,
+            "alpha": alpha,
+            "beta": beta,
+            "gamma": gamma,
+            "level": level,
+            "trend": trend,
+            "seasonals": seasonals,
+            "n_obs": len(series),
+        }
+
+    def fit(self, X, y=None) -> "HoltWintersForecaster":
+        if self.seasonal not in _SEASONAL_MODES:
+            raise InvalidParameterError(
+                f"seasonal must be one of {_SEASONAL_MODES}, got {self.seasonal!r}."
+            )
+        X = as_2d_array(X)
+        self.models_ = [self._fit_single(X[:, j]) for j in range(X.shape[1])]
+        self.effective_seasonal_ = [model["seasonal"] for model in self.models_]
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("models_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        forecasts = np.empty((horizon, self.n_series_))
+        for j, model in enumerate(self.models_):
+            period = model["period"]
+            seasonals = model["seasonals"]
+            start = model["n_obs"]
+            for step in range(1, horizon + 1):
+                season_index = (start + step - 1) % period
+                base = model["level"] + step * model["trend"]
+                if model["seasonal"] == "additive":
+                    forecasts[step - 1, j] = base + seasonals[season_index]
+                else:
+                    forecasts[step - 1, j] = base * seasonals[season_index]
+        return forecasts
+
+    @property
+    def name(self) -> str:
+        suffix = "Multiplicative" if self.seasonal == "multiplicative" else "Additive"
+        return f"HW_{suffix}"

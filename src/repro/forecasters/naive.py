@@ -1,0 +1,88 @@
+"""Naive forecasting baselines, including the paper's Zero Model.
+
+"The Zero Model simply outputs the most recent value of a time series as the
+next prediction.  For prediction horizons greater than 1 the most recent
+value is repeated." (paper section 4).  The seasonal naive and drift variants
+are used by the MASE metric, the ablation benchmarks and the data-suite
+sanity tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon, check_positive_int
+from ..core.base import BaseForecaster, check_is_fitted
+
+__all__ = ["ZeroModelForecaster", "SeasonalNaiveForecaster", "DriftForecaster"]
+
+
+class ZeroModelForecaster(BaseForecaster):
+    """Repeat the last observed value of every series over the horizon."""
+
+    def __init__(self, horizon: int = 1):
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "ZeroModelForecaster":
+        X = as_2d_array(X)
+        self.last_values_ = X[-1].copy()
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("last_values_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        return np.tile(self.last_values_, (horizon, 1))
+
+
+class SeasonalNaiveForecaster(BaseForecaster):
+    """Repeat the last full season of every series.
+
+    Falls back to the Zero Model behaviour when the series is shorter than
+    one season.
+    """
+
+    def __init__(self, seasonal_period: int = 1, horizon: int = 1):
+        self.seasonal_period = seasonal_period
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "SeasonalNaiveForecaster":
+        period = check_positive_int(self.seasonal_period, "seasonal_period")
+        X = as_2d_array(X)
+        if len(X) >= period:
+            self.last_season_ = X[-period:].copy()
+        else:
+            self.last_season_ = np.tile(X[-1], (period, 1))
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("last_season_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        period = len(self.last_season_)
+        repeats = int(np.ceil(horizon / period))
+        tiled = np.tile(self.last_season_, (repeats, 1))
+        return tiled[:horizon]
+
+
+class DriftForecaster(BaseForecaster):
+    """Extrapolate the average first difference (random walk with drift)."""
+
+    def __init__(self, horizon: int = 1):
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "DriftForecaster":
+        X = as_2d_array(X)
+        self.last_values_ = X[-1].copy()
+        if len(X) > 1:
+            self.drift_ = (X[-1] - X[0]) / (len(X) - 1)
+        else:
+            self.drift_ = np.zeros(X.shape[1])
+        self.n_series_ = X.shape[1]
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("last_values_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        steps = np.arange(1, horizon + 1).reshape(-1, 1)
+        return self.last_values_ + steps * self.drift_

@@ -1,0 +1,57 @@
+"""Theta method forecaster.
+
+Not part of the paper's ten-pipeline inventory but included as an optional
+pipeline (the paper notes the system "can incorporate any other type of
+model family without requiring any changes"), and used by the ablation
+benchmarks as an additional cheap statistical candidate.  The classic
+Theta(0, 2) decomposition is equivalent to simple exponential smoothing with
+drift, which is how it is implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon
+from ..core.base import BaseForecaster, check_is_fitted
+from .ets import SimpleExponentialSmoothing
+
+__all__ = ["ThetaForecaster"]
+
+
+class ThetaForecaster(BaseForecaster):
+    """Theta(0, 2) method: SES forecast plus half the linear trend slope."""
+
+    def __init__(self, horizon: int = 1):
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "ThetaForecaster":
+        X = as_2d_array(X)
+        self.n_series_ = X.shape[1]
+        self._ses = SimpleExponentialSmoothing(horizon=self.horizon).fit(X)
+
+        # Linear trend slope per series (theta line with theta = 2 doubles the
+        # curvature; its mean contribution reduces to half the OLS slope).
+        time_index = np.arange(len(X), dtype=float)
+        centered_time = time_index - time_index.mean()
+        denominator = float(np.dot(centered_time, centered_time))
+        slopes = []
+        for j in range(X.shape[1]):
+            series = X[:, j]
+            if denominator == 0:
+                slopes.append(0.0)
+            else:
+                slopes.append(float(np.dot(centered_time, series - series.mean()) / denominator))
+        self.slopes_ = np.array(slopes)
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("slopes_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        ses_forecast = self._ses.predict(horizon)
+        steps = np.arange(1, horizon + 1, dtype=float).reshape(-1, 1)
+        return ses_forecast + 0.5 * self.slopes_ * steps
+
+    @property
+    def name(self) -> str:
+        return "Theta"

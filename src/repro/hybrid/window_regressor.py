@@ -1,0 +1,194 @@
+"""Window-based ML forecasters.
+
+"Generally, ML based approaches perform transformations on time series data
+and then model time series forecasting problem as an IID problem" (paper
+section 3).  :class:`WindowRegressor` frames the series into look-back
+windows, fits any :class:`~repro.core.base.BaseRegressor` on them and
+forecasts either directly (multi-output regression over the horizon) or
+recursively (one step at a time, feeding predictions back into the window).
+
+``WindowRandomForest`` and ``WindowSVR`` — two of the ten pipelines in the
+paper's inventory (figure 14/15) — are thin subclasses with the matching
+default regressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_horizon, check_positive_int
+from ..core.base import BaseForecaster, BaseRegressor, check_is_fitted, clone
+from ..exceptions import InvalidParameterError
+from ..ml.forest import RandomForestRegressor
+from ..ml.svr import SVR
+from ..transforms.window import make_supervised_windows
+
+__all__ = ["WindowRegressor", "WindowRandomForestForecaster", "WindowSVRForecaster"]
+
+_STRATEGIES = ("recursive", "direct")
+
+
+class WindowRegressor(BaseForecaster):
+    """Forecaster that wraps an IID regressor behind a look-back window.
+
+    Parameters
+    ----------
+    regressor:
+        Any estimator with ``fit(X, y)`` / ``predict(X)``.  One clone is
+        trained per output series (and per horizon step under the direct
+        strategy when the regressor does not support multi-output targets).
+    lookback:
+        Look-back window length.  The AutoAI-TS orchestrator sets this from
+        the automatic look-back discovery; the default of 8 matches the
+        paper's fallback value.
+    strategy:
+        ``"recursive"`` feeds one-step predictions back into the window;
+        ``"direct"`` trains a multi-output model mapping a window to the full
+        horizon at once.
+    """
+
+    def __init__(
+        self,
+        regressor: BaseRegressor | None = None,
+        lookback: int = 8,
+        horizon: int = 1,
+        strategy: str = "recursive",
+    ):
+        self.regressor = regressor
+        self.lookback = lookback
+        self.horizon = horizon
+        self.strategy = strategy
+
+    def _effective_lookback(self, n_samples: int, horizon: int) -> int:
+        lookback = check_positive_int(self.lookback, "lookback")
+        # Leave room for at least a handful of training windows.
+        budget = n_samples - horizon - 3
+        return int(max(1, min(lookback, max(budget, 1))))
+
+    def fit(self, X, y=None) -> "WindowRegressor":
+        if self.strategy not in _STRATEGIES:
+            raise InvalidParameterError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}."
+            )
+        X = as_2d_array(X)
+        horizon = check_horizon(self.horizon)
+        lookback = self._effective_lookback(len(X), horizon if self.strategy == "direct" else 1)
+
+        base = self.regressor if self.regressor is not None else RandomForestRegressor()
+        self.models_: list[BaseRegressor] = []
+        target_horizon = horizon if self.strategy == "direct" else 1
+
+        for column in range(X.shape[1]):
+            features, targets = make_supervised_windows(
+                X, lookback, target_horizon, target_column=column
+            )
+            model = clone(base)
+            model.fit(features, targets)
+            self.models_.append(model)
+
+        self._lookback_used = lookback
+        self._n_series = X.shape[1]
+        self._last_window = X[-lookback:].copy()
+        return self
+
+    def _predict_recursive(self, horizon: int) -> np.ndarray:
+        window = self._last_window.copy()
+        forecasts = np.empty((horizon, self._n_series))
+        for step in range(horizon):
+            features = window.reshape(1, -1)
+            for column, model in enumerate(self.models_):
+                prediction = np.asarray(model.predict(features), dtype=float).ravel()
+                forecasts[step, column] = prediction[0]
+            window = np.vstack([window[1:], forecasts[step]])
+        return forecasts
+
+    def _predict_direct(self, horizon: int) -> np.ndarray:
+        features = self._last_window.reshape(1, -1)
+        trained_horizon = int(self.horizon)
+        blocks: list[np.ndarray] = []
+        window = self._last_window.copy()
+        produced = 0
+        while produced < horizon:
+            features = window.reshape(1, -1)
+            block = np.empty((trained_horizon, self._n_series))
+            for column, model in enumerate(self.models_):
+                prediction = np.asarray(model.predict(features), dtype=float).ravel()
+                block[:, column] = prediction[:trained_horizon]
+            blocks.append(block)
+            produced += trained_horizon
+            window = np.vstack([window, block])[-self._lookback_used :]
+        return np.vstack(blocks)[:horizon]
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("models_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        if self.strategy == "direct":
+            return self._predict_direct(horizon)
+        return self._predict_recursive(horizon)
+
+    @property
+    def name(self) -> str:
+        inner = type(self.regressor).__name__ if self.regressor is not None else "RandomForest"
+        return f"Window{inner}"
+
+
+class WindowRandomForestForecaster(WindowRegressor):
+    """``WindowRandomForest`` pipeline: random forest over look-back windows."""
+
+    def __init__(
+        self,
+        lookback: int = 8,
+        horizon: int = 1,
+        n_estimators: int = 50,
+        max_depth: int | None = 10,
+        random_state: int | None = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+        super().__init__(
+            regressor=RandomForestRegressor(
+                n_estimators=n_estimators, max_depth=max_depth, random_state=random_state
+            ),
+            lookback=lookback,
+            horizon=horizon,
+            strategy="recursive",
+        )
+
+    @classmethod
+    def _get_param_names(cls):
+        return ("lookback", "horizon", "n_estimators", "max_depth", "random_state")
+
+    @property
+    def name(self) -> str:
+        return "WindowRandomForest"
+
+
+class WindowSVRForecaster(WindowRegressor):
+    """``WindowSVR`` pipeline: support vector regression over look-back windows."""
+
+    def __init__(
+        self,
+        lookback: int = 8,
+        horizon: int = 1,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        kernel: str = "rbf",
+    ):
+        self.C = C
+        self.epsilon = epsilon
+        self.kernel = kernel
+        super().__init__(
+            regressor=SVR(kernel=kernel, C=C, epsilon=epsilon),
+            lookback=lookback,
+            horizon=horizon,
+            strategy="recursive",
+        )
+
+    @classmethod
+    def _get_param_names(cls):
+        return ("lookback", "horizon", "C", "epsilon", "kernel")
+
+    @property
+    def name(self) -> str:
+        return "WindowSVR"

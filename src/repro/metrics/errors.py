@@ -1,0 +1,83 @@
+"""Error metrics.
+
+The paper evaluates every toolkit with the Symmetric Mean Absolute
+Percentage Error (SMAPE), reported on a 0-200 scale (a model that fails to
+finish is recorded as 0 and excluded from ranking).  The remaining metrics
+are provided for the internal pipelines, the ablation benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["smape", "mape", "mae", "mse", "rmse", "mase"]
+
+
+def _align(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        y_true = y_true.reshape(-1)
+        y_pred = y_pred.reshape(-1)
+        n = min(len(y_true), len(y_pred))
+        if n == 0:
+            raise ValueError("Cannot compute a metric on empty arrays.")
+        y_true, y_pred = y_true[:n], y_pred[:n]
+    if y_true.size == 0:
+        raise ValueError("Cannot compute a metric on empty arrays.")
+    return y_true, y_pred
+
+
+def smape(y_true, y_pred) -> float:
+    """Symmetric mean absolute percentage error on the 0-200 scale.
+
+    ``200 * |y - yhat| / (|y| + |yhat|)`` averaged over all points, with the
+    convention that a point where both actual and forecast are zero
+    contributes zero error.
+    """
+    y_true, y_pred = _align(y_true, y_pred)
+    numerator = np.abs(y_true - y_pred)
+    denominator = np.abs(y_true) + np.abs(y_pred)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(denominator == 0, 0.0, numerator / denominator)
+    return float(200.0 * np.mean(ratio))
+
+
+def mape(y_true, y_pred, epsilon: float = 1e-10) -> float:
+    """Mean absolute percentage error (percent); zero actuals are skipped."""
+    y_true, y_pred = _align(y_true, y_pred)
+    mask = np.abs(y_true) > epsilon
+    if not mask.any():
+        return 0.0
+    return float(100.0 * np.mean(np.abs((y_true[mask] - y_pred[mask]) / y_true[mask])))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _align(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _align(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mase(y_true, y_pred, y_train, seasonal_period: int = 1) -> float:
+    """Mean absolute scaled error relative to the in-sample seasonal naive."""
+    y_true, y_pred = _align(y_true, y_pred)
+    y_train = np.asarray(y_train, dtype=float).reshape(-1)
+    seasonal_period = max(int(seasonal_period), 1)
+    if len(y_train) <= seasonal_period:
+        raise ValueError("Training series too short for the given seasonal period.")
+    naive_errors = np.abs(y_train[seasonal_period:] - y_train[:-seasonal_period])
+    scale = float(np.mean(naive_errors))
+    if scale == 0:
+        scale = 1e-10
+    return float(np.mean(np.abs(y_true - y_pred)) / scale)

@@ -1,0 +1,113 @@
+"""Toolkit ranking utilities behind Figures 6-15 of the paper.
+
+"For each individual time series, we rank the toolkits from 1 to 11 based on
+their SMAPE performance, with smaller ranks corresponding to low SMAPE
+values" (section 5.3).  Toolkits that failed to finish on a data set (SMAPE
+recorded as 0 with 0 seconds in Tables 4/5) are excluded from that data
+set's ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["rank_toolkits", "average_ranks", "rank_histogram", "RankSummary"]
+
+
+def rank_toolkits(
+    scores: Mapping[str, float],
+    lower_is_better: bool = True,
+    exclude: Sequence[str] = (),
+) -> Dict[str, int]:
+    """Rank toolkits 1..k for a single data set.
+
+    Ties receive the same (minimum) rank.  Toolkits listed in ``exclude`` or
+    whose score is NaN are omitted from the result.
+    """
+    usable = {
+        name: float(value)
+        for name, value in scores.items()
+        if name not in exclude and np.isfinite(value)
+    }
+    if not usable:
+        return {}
+    ordered = sorted(usable.items(), key=lambda item: item[1], reverse=not lower_is_better)
+    ranks: Dict[str, int] = {}
+    previous_value: float | None = None
+    previous_rank = 0
+    for position, (name, value) in enumerate(ordered, start=1):
+        if previous_value is not None and value == previous_value:
+            ranks[name] = previous_rank
+        else:
+            ranks[name] = position
+            previous_rank = position
+            previous_value = value
+    return ranks
+
+
+@dataclass
+class RankSummary:
+    """Aggregated ranking results across many data sets.
+
+    Attributes
+    ----------
+    average_rank:
+        Mean rank per toolkit over the data sets where it produced a result.
+    histogram:
+        ``histogram[toolkit][rank]`` = number of data sets on which the
+        toolkit achieved that rank (this is the data behind Figures 7, 9, 11
+        and 13).
+    n_datasets:
+        Number of data sets that contributed at least one ranking.
+    """
+
+    average_rank: Dict[str, float] = field(default_factory=dict)
+    histogram: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    n_datasets: int = 0
+
+    def ordered_toolkits(self) -> List[str]:
+        """Toolkits sorted from best (lowest) to worst average rank."""
+        return sorted(self.average_rank, key=lambda name: self.average_rank[name])
+
+    def wins(self, toolkit: str) -> int:
+        """Number of data sets on which ``toolkit`` achieved rank 1."""
+        return self.histogram.get(toolkit, {}).get(1, 0)
+
+    def count_at_rank(self, toolkit: str, rank: int) -> int:
+        """Number of data sets on which ``toolkit`` achieved the given rank."""
+        return self.histogram.get(toolkit, {}).get(rank, 0)
+
+
+def average_ranks(per_dataset_ranks: Sequence[Mapping[str, int]]) -> RankSummary:
+    """Aggregate per-dataset rankings into average ranks and a histogram."""
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    histogram: Dict[str, Dict[int, int]] = {}
+    n_datasets = 0
+    for ranks in per_dataset_ranks:
+        if not ranks:
+            continue
+        n_datasets += 1
+        for name, rank in ranks.items():
+            totals[name] = totals.get(name, 0.0) + rank
+            counts[name] = counts.get(name, 0) + 1
+            histogram.setdefault(name, {})
+            histogram[name][rank] = histogram[name].get(rank, 0) + 1
+    average = {name: totals[name] / counts[name] for name in totals}
+    return RankSummary(average_rank=average, histogram=histogram, n_datasets=n_datasets)
+
+
+def rank_histogram(summary: RankSummary, max_rank: int | None = None) -> Dict[str, List[int]]:
+    """Dense per-rank counts (1..max_rank) per toolkit, for figure rendering."""
+    if max_rank is None:
+        max_rank = 0
+        for per_toolkit in summary.histogram.values():
+            if per_toolkit:
+                max_rank = max(max_rank, max(per_toolkit))
+    dense: Dict[str, List[int]] = {}
+    for name, per_toolkit in summary.histogram.items():
+        dense[name] = [per_toolkit.get(rank, 0) for rank in range(1, max_rank + 1)]
+    return dense

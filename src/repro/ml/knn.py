@@ -1,0 +1,73 @@
+"""K-nearest-neighbour regression.
+
+Used by the Motif-style baseline (nearest historical window lookup) and
+available as a plain ML regressor for custom pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_consistent_length, check_positive_int
+from ..core.base import BaseRegressor, check_is_fitted
+from ..exceptions import InvalidParameterError
+
+__all__ = ["KNeighborsRegressor"]
+
+_WEIGHTS = ("uniform", "distance")
+
+
+class KNeighborsRegressor(BaseRegressor):
+    """Average (optionally distance-weighted) of the k nearest training targets."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        check_positive_int(self.n_neighbors, "n_neighbors")
+        if self.weights not in _WEIGHTS:
+            raise InvalidParameterError(
+                f"Unknown weights {self.weights!r}; expected one of {_WEIGHTS}."
+            )
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        self._multi_output = y.ndim > 1
+        check_consistent_length(X, y)
+        self.X_train_ = X
+        self.y_train_ = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("X_train_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        k = min(int(self.n_neighbors), len(self.X_train_))
+
+        squared_query = np.sum(X**2, axis=1)[:, None]
+        squared_train = np.sum(self.X_train_**2, axis=1)[None, :]
+        distances = np.sqrt(
+            np.clip(squared_query + squared_train - 2.0 * X @ self.X_train_.T, 0.0, None)
+        )
+        neighbor_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+
+        predictions = []
+        for row, neighbors in enumerate(neighbor_indices):
+            targets = self.y_train_[neighbors]
+            if self.weights == "distance":
+                neighbor_distances = distances[row, neighbors]
+                weights = 1.0 / (neighbor_distances + 1e-10)
+                weights /= weights.sum()
+                prediction = (
+                    weights @ targets if self._multi_output else float(weights @ targets)
+                )
+            else:
+                prediction = targets.mean(axis=0) if self._multi_output else float(
+                    targets.mean()
+                )
+            predictions.append(prediction)
+        return np.asarray(predictions)

@@ -1,0 +1,108 @@
+"""Linear least-squares regressors (ordinary and ridge).
+
+Both support multi-output targets, which the window-based forecasters use to
+predict a whole horizon in one shot (direct multi-step forecasting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_consistent_length
+from ..core.base import BaseRegressor, check_is_fitted
+from ..exceptions import InvalidParameterError
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+def _prepare(X, y) -> tuple[np.ndarray, np.ndarray, bool]:
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    single_output = y.ndim == 1
+    if single_output:
+        y = y.reshape(-1, 1)
+    check_consistent_length(X, y)
+    return X, y, single_output
+
+
+class LinearRegression(BaseRegressor):
+    """Ordinary least squares linear regression."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y, self._single_output = _prepare(X, y)
+        if self.fit_intercept:
+            design = np.column_stack([np.ones(len(X)), X])
+        else:
+            design = X
+        solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = solution[0]
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = np.zeros(y.shape[1])
+            self.coef_ = solution
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("coef_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        predictions = X @ self.coef_ + self.intercept_
+        if self._single_output:
+            return predictions.ravel()
+        return predictions
+
+
+class RidgeRegression(BaseRegressor):
+    """Linear regression with L2 regularisation (closed form).
+
+    The intercept is never penalised: features and targets are centred before
+    solving so the ridge penalty applies only to the slope coefficients.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "RidgeRegression":
+        if self.alpha < 0:
+            raise InvalidParameterError(f"alpha must be >= 0, got {self.alpha}.")
+        X, y, self._single_output = _prepare(X, y)
+
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean(axis=0)
+            X_centered = X - x_mean
+            y_centered = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = np.zeros(y.shape[1])
+            X_centered, y_centered = X, y
+
+        n_features = X.shape[1]
+        gram = X_centered.T @ X_centered + self.alpha * np.eye(n_features)
+        moment = X_centered.T @ y_centered
+        try:
+            self.coef_ = np.linalg.solve(gram, moment)
+        except np.linalg.LinAlgError:
+            self.coef_, _, _, _ = np.linalg.lstsq(gram, moment, rcond=None)
+        self.intercept_ = y_mean - x_mean @ self.coef_
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("coef_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        predictions = X @ self.coef_ + self.intercept_
+        if self._single_output:
+            return predictions.ravel()
+        return predictions

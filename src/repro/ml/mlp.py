@@ -1,0 +1,91 @@
+"""Multi-layer perceptron regressor built on the numpy neural-network core.
+
+Thin estimator wrapper so the deep-learning pipelines expose the same
+``fit``/``predict`` API as every other ML regressor.  The actual layers and
+back-propagation live in :mod:`repro.dl.network`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_consistent_length
+from ..core.base import BaseRegressor, check_is_fitted
+from ..dl.network import FeedForwardNetwork
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor(BaseRegressor):
+    """Feed-forward neural network for regression (squared loss, Adam)."""
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (64, 32),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        max_iter: int = 200,
+        batch_size: int = 32,
+        alpha: float = 1e-4,
+        tol: float = 1e-6,
+        random_state: int | None = 0,
+    ):
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        self._single_output = y.ndim == 1
+        if self._single_output:
+            y = y.reshape(-1, 1)
+        check_consistent_length(X, y)
+
+        # Standardise inputs/outputs internally for stable optimisation.
+        self._x_mean = X.mean(axis=0)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0] = 1.0
+        self._x_scale = x_scale
+        self._y_mean = y.mean(axis=0)
+        y_scale = y.std(axis=0)
+        y_scale[y_scale == 0] = 1.0
+        self._y_scale = y_scale
+
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+
+        self.network_ = FeedForwardNetwork(
+            layer_sizes=(X.shape[1], *tuple(self.hidden_layer_sizes), y.shape[1]),
+            activation=self.activation,
+            learning_rate=self.learning_rate,
+            weight_decay=self.alpha,
+            random_state=self.random_state,
+        )
+        self.loss_curve_ = self.network_.train(
+            Xs,
+            ys,
+            epochs=int(self.max_iter),
+            batch_size=int(self.batch_size),
+            tol=float(self.tol),
+        )
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("network_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        Xs = (X - self._x_mean) / self._x_scale
+        predictions = self.network_.forward(Xs) * self._y_scale + self._y_mean
+        if self._single_output:
+            return predictions.ravel()
+        return predictions

@@ -1,0 +1,135 @@
+"""Model selection utilities respecting temporal ordering.
+
+Time series cannot be split IID: the paper keeps the final 20% of every data
+set as holdout and T-Daub allocates *most recent first* within the training
+portion.  These helpers provide the temporal split, an expanding-window
+cross-validator and a small grid search used by the statistical forecasters'
+internal parameter optimisation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_fraction
+from ..core.base import BaseEstimator, clone
+from ..exceptions import InvalidParameterError
+
+__all__ = ["temporal_train_test_split", "TimeSeriesSplit", "GridSearch", "GridSearchResult"]
+
+
+def temporal_train_test_split(
+    X, test_fraction: float = 0.2, min_train: int = 1, min_test: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a series into past (train) and future (test) segments.
+
+    The paper uses an 80%-20% train/holdout split throughout the benchmark.
+    """
+    check_fraction(test_fraction, "test_fraction")
+    X = np.asarray(X, dtype=float)
+    n_samples = len(X)
+    n_test = max(int(round(n_samples * test_fraction)), min_test)
+    n_train = n_samples - n_test
+    if n_train < min_train:
+        raise InvalidParameterError(
+            f"Cannot split {n_samples} samples into train >= {min_train} and "
+            f"test >= {min_test} with test_fraction={test_fraction}."
+        )
+    return X[:n_train], X[n_train:]
+
+
+class TimeSeriesSplit:
+    """Expanding-window cross-validation splitter.
+
+    Each split trains on an initial segment and tests on the following
+    ``test_size`` observations, mirroring how forecasts are consumed.
+    """
+
+    def __init__(self, n_splits: int = 3, test_size: int | None = None):
+        if n_splits < 1:
+            raise InvalidParameterError("n_splits must be >= 1.")
+        self.n_splits = n_splits
+        self.test_size = test_size
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        X = np.asarray(X)
+        n_samples = len(X)
+        n_splits = int(self.n_splits)
+        test_size = self.test_size or max(1, n_samples // (n_splits + 1))
+        if n_samples <= test_size * n_splits:
+            raise InvalidParameterError(
+                f"Cannot create {n_splits} splits of test_size={test_size} "
+                f"from {n_samples} samples."
+            )
+        indices = np.arange(n_samples)
+        for split_index in range(n_splits):
+            test_end = n_samples - (n_splits - 1 - split_index) * test_size
+            test_start = test_end - test_size
+            yield indices[:test_start], indices[test_start:test_end]
+
+
+@dataclass
+class GridSearchResult:
+    """Best configuration found by :class:`GridSearch`."""
+
+    best_params: Dict[str, Any]
+    best_score: float
+    all_scores: Dict[tuple, float]
+
+
+class GridSearch:
+    """Exhaustive search over a parameter grid with a user-supplied scorer.
+
+    ``scorer(estimator, train, test) -> float`` where larger is better.  The
+    search clones the estimator for every configuration, so the input
+    estimator is never mutated.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Mapping[str, Sequence[Any]],
+        scorer: Callable[[BaseEstimator, np.ndarray, np.ndarray], float],
+        cv: TimeSeriesSplit | None = None,
+    ):
+        self.estimator = estimator
+        self.param_grid = dict(param_grid)
+        self.scorer = scorer
+        self.cv = cv
+
+    def _configurations(self) -> Iterable[Dict[str, Any]]:
+        names = sorted(self.param_grid)
+        for combination in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, combination))
+
+    def fit(self, X) -> GridSearchResult:
+        X = np.asarray(X, dtype=float)
+        cv = self.cv or TimeSeriesSplit(n_splits=1)
+        all_scores: Dict[tuple, float] = {}
+        best_score = -np.inf
+        best_params: Dict[str, Any] = {}
+
+        for params in self._configurations():
+            scores = []
+            for train_idx, test_idx in cv.split(X):
+                candidate = clone(self.estimator).set_params(**params)
+                try:
+                    score = self.scorer(candidate, X[train_idx], X[test_idx])
+                except Exception:
+                    score = -np.inf
+                scores.append(score)
+            mean_score = float(np.mean(scores)) if scores else -np.inf
+            all_scores[tuple(sorted(params.items()))] = mean_score
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+
+        if not best_params:
+            raise InvalidParameterError("Empty parameter grid.")
+        return GridSearchResult(
+            best_params=best_params, best_score=best_score, all_scores=all_scores
+        )

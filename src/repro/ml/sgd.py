@@ -1,0 +1,124 @@
+"""Stochastic gradient descent regressor.
+
+One of the ML model families listed in section 3 of the paper ("Random
+Forest, XGBoost, Linear Regression, SGD Regression").  Supports squared,
+huber and epsilon-insensitive losses with L2 regularisation, mini-batch
+updates and an inverse-scaling learning-rate schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_consistent_length
+from ..core.base import BaseRegressor, check_is_fitted
+from ..exceptions import InvalidParameterError
+
+__all__ = ["SGDRegressor"]
+
+_LOSSES = ("squared_error", "huber", "epsilon_insensitive")
+
+
+class SGDRegressor(BaseRegressor):
+    """Linear model fitted by mini-batch stochastic gradient descent."""
+
+    def __init__(
+        self,
+        loss: str = "squared_error",
+        alpha: float = 1e-4,
+        learning_rate: float = 0.01,
+        max_iter: int = 200,
+        batch_size: int = 32,
+        epsilon: float = 0.1,
+        tol: float = 1e-5,
+        shuffle: bool = True,
+        random_state: int | None = 0,
+    ):
+        self.loss = loss
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.epsilon = epsilon
+        self.tol = tol
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def _loss_gradient(self, errors: np.ndarray) -> np.ndarray:
+        """Derivative of the per-sample loss with respect to the prediction."""
+        if self.loss == "squared_error":
+            return errors
+        if self.loss == "huber":
+            return np.clip(errors, -self.epsilon, self.epsilon)
+        # epsilon-insensitive: zero inside the tube, +-1 outside.
+        gradient = np.zeros_like(errors)
+        gradient[errors > self.epsilon] = 1.0
+        gradient[errors < -self.epsilon] = -1.0
+        return gradient
+
+    def fit(self, X, y) -> "SGDRegressor":
+        if self.loss not in _LOSSES:
+            raise InvalidParameterError(
+                f"Unknown loss {self.loss!r}; expected one of {_LOSSES}."
+            )
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        check_consistent_length(X, y)
+
+        rng = np.random.default_rng(self.random_state)
+        n_samples, n_features = X.shape
+
+        # Standardise internally for stable step sizes; store for predict.
+        self._x_mean = X.mean(axis=0)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0] = 1.0
+        self._x_scale = x_scale
+        self._y_mean = float(y.mean())
+        y_scale = float(y.std())
+        self._y_scale = y_scale if y_scale > 0 else 1.0
+
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+
+        weights = np.zeros(n_features)
+        intercept = 0.0
+        batch_size = max(1, min(int(self.batch_size), n_samples))
+        previous_loss = np.inf
+
+        for epoch in range(int(self.max_iter)):
+            indices = np.arange(n_samples)
+            if self.shuffle:
+                rng.shuffle(indices)
+            step = self.learning_rate / (1.0 + 0.01 * epoch)
+            for start in range(0, n_samples, batch_size):
+                batch = indices[start : start + batch_size]
+                predictions = Xs[batch] @ weights + intercept
+                errors = predictions - ys[batch]
+                grad_pred = self._loss_gradient(errors)
+                grad_w = Xs[batch].T @ grad_pred / len(batch) + self.alpha * weights
+                grad_b = float(np.mean(grad_pred))
+                weights -= step * grad_w
+                intercept -= step * grad_b
+
+            epoch_predictions = Xs @ weights + intercept
+            epoch_loss = float(np.mean((epoch_predictions - ys) ** 2))
+            if abs(previous_loss - epoch_loss) < self.tol:
+                break
+            previous_loss = epoch_loss
+
+        self.coef_ = weights
+        self.intercept_ = intercept
+        self.n_iter_ = epoch + 1
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("coef_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        Xs = (X - self._x_mean) / self._x_scale
+        standardized = Xs @ self.coef_ + self.intercept_
+        return standardized * self._y_scale + self._y_mean

@@ -1,0 +1,215 @@
+"""CART regression tree.
+
+The building block for the Random Forest and gradient boosting regressors.
+Split search is vectorised: for every candidate feature the samples are
+sorted once and the variance reduction of every split position is evaluated
+with prefix sums, so growing a tree is O(n_features * n log n) per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_consistent_length
+from ..core.base import BaseRegressor, check_is_fitted
+from ..exceptions import InvalidParameterError
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """A single node of the regression tree."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Return ``(feature, threshold, sse_gain)`` of the best split or None."""
+    n_samples = len(y)
+    total_sum = y.sum()
+    total_sq_sum = float(np.dot(y, y))
+    parent_sse = total_sq_sum - total_sum**2 / n_samples
+
+    best_gain = 1e-12
+    best: tuple[int, float, float] | None = None
+
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        x_sorted = X[order, feature]
+        y_sorted = y[order]
+
+        # Candidate split after position i (left = first i+1 samples).
+        left_counts = np.arange(1, n_samples)
+        left_sums = np.cumsum(y_sorted)[:-1]
+        left_sq_sums = np.cumsum(y_sorted**2)[:-1]
+        right_counts = n_samples - left_counts
+        right_sums = total_sum - left_sums
+        right_sq_sums = total_sq_sum - left_sq_sums
+
+        left_sse = left_sq_sums - left_sums**2 / left_counts
+        right_sse = right_sq_sums - right_sums**2 / right_counts
+        gains = parent_sse - (left_sse + right_sse)
+
+        # A split is only valid between distinct feature values and when both
+        # children satisfy the minimum leaf size.
+        valid = (np.diff(x_sorted) > 0) & (left_counts >= min_samples_leaf) & (
+            right_counts >= min_samples_leaf
+        )
+        if not valid.any():
+            continue
+        gains = np.where(valid, gains, -np.inf)
+        best_position = int(np.argmax(gains))
+        gain = float(gains[best_position])
+        if gain > best_gain:
+            threshold = float(
+                (x_sorted[best_position] + x_sorted[best_position + 1]) / 2.0
+            )
+            best_gain = gain
+            best = (int(feature), threshold, gain)
+    return best
+
+
+class DecisionTreeRegressor(BaseRegressor):
+    """Regression tree minimising squared error.
+
+    Parameters follow the scikit-learn conventions; ``max_features`` accepts
+    an int, a float fraction, ``"sqrt"``, ``"log2"`` or ``None`` (all
+    features) and is re-drawn at every node, which is what random forests
+    need for decorrelated trees.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        max_features = self.max_features
+        if max_features is None:
+            return n_features
+        if isinstance(max_features, str):
+            if max_features == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if max_features == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise InvalidParameterError(
+                f"Unknown max_features value {max_features!r}; expected 'sqrt' or 'log2'."
+            )
+        if isinstance(max_features, float) and not isinstance(max_features, bool):
+            if not 0.0 < max_features <= 1.0:
+                raise InvalidParameterError("Float max_features must be in (0, 1].")
+            return max(1, int(round(max_features * n_features)))
+        value = int(max_features)
+        if value < 1:
+            raise InvalidParameterError("max_features must be >= 1.")
+        return min(value, n_features)
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        check_consistent_length(X, y)
+        if len(y) == 0:
+            raise InvalidParameterError("Cannot fit a tree on empty data.")
+
+        self._rng = np.random.default_rng(self.random_state)
+        self.n_features_in_ = X.shape[1]
+        self._max_features_resolved = self._resolve_max_features(X.shape[1])
+        max_depth = np.inf if self.max_depth is None else int(self.max_depth)
+
+        self.root_ = self._grow(X, y, depth=0, max_depth=max_depth)
+        self.n_nodes_ = self._count_nodes(self.root_)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, max_depth: float) -> _Node:
+        prediction = float(np.mean(y))
+        node = _Node(prediction=prediction)
+
+        if (
+            depth >= max_depth
+            or len(y) < int(self.min_samples_split)
+            or len(y) < 2 * int(self.min_samples_leaf)
+            or np.ptp(y) == 0.0
+        ):
+            return node
+
+        n_features = X.shape[1]
+        if self._max_features_resolved < n_features:
+            feature_indices = self._rng.choice(
+                n_features, size=self._max_features_resolved, replace=False
+            )
+        else:
+            feature_indices = np.arange(n_features)
+
+        split = _best_split(X, y, feature_indices, int(self.min_samples_leaf))
+        if split is None:
+            return node
+
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        # Guard against degenerate thresholds: when two adjacent feature
+        # values are so close that their midpoint rounds onto one of them the
+        # split would send every sample to one side — keep the node a leaf.
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, max_depth)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, max_depth)
+        return node
+
+    def _count_nodes(self, node: _Node | None) -> int:
+        if node is None:
+            return 0
+        return 1 + self._count_nodes(node.left) + self._count_nodes(node.right)
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ("root_",))
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        predictions = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            predictions[i] = node.prediction
+        return predictions
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        check_is_fitted(self, ("root_",))
+
+        def _depth(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root_)

@@ -1,0 +1,64 @@
+"""Box-Cox power transform with automatic lambda selection.
+
+BATS (paper section 1 contribution list) starts with a Box-Cox
+transformation; the stateless ``box_cox`` transform in the pipeline
+inventory also relies on these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["boxcox_transform", "inverse_boxcox_transform", "boxcox_lambda"]
+
+_MIN_POSITIVE = 1e-9
+
+
+def boxcox_transform(x, lam: float) -> np.ndarray:
+    """Apply the Box-Cox transform with parameter ``lam`` to positive data."""
+    x = np.asarray(x, dtype=float)
+    if np.nanmin(x) <= 0:
+        raise ValueError("Box-Cox requires strictly positive data.")
+    if abs(lam) < 1e-10:
+        return np.log(x)
+    return (np.power(x, lam) - 1.0) / lam
+
+
+def inverse_boxcox_transform(y, lam: float) -> np.ndarray:
+    """Invert :func:`boxcox_transform`."""
+    y = np.asarray(y, dtype=float)
+    if abs(lam) < 1e-10:
+        return np.exp(y)
+    base = np.clip(lam * y + 1.0, _MIN_POSITIVE, None)
+    return np.power(base, 1.0 / lam)
+
+
+def _log_likelihood(x: np.ndarray, lam: float) -> float:
+    transformed = boxcox_transform(x, lam)
+    n = len(x)
+    variance = np.var(transformed)
+    if variance <= 0:
+        return -np.inf
+    return float(-0.5 * n * np.log(variance) + (lam - 1.0) * np.sum(np.log(x)))
+
+
+def boxcox_lambda(x, lambdas: np.ndarray | None = None) -> float:
+    """Select the Box-Cox lambda maximising the profile log-likelihood.
+
+    Searches a coarse grid over ``[-1, 2]`` (the range used by the R
+    ``forecast`` package's BATS implementation) which is robust and cheap.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    x = x[np.isfinite(x)]
+    if len(x) < 4 or np.nanmin(x) <= 0:
+        return 1.0
+    if lambdas is None:
+        lambdas = np.linspace(-1.0, 2.0, 31)
+    best_lambda = 1.0
+    best_ll = -np.inf
+    for lam in lambdas:
+        ll = _log_likelihood(x, float(lam))
+        if ll > best_ll:
+            best_ll = ll
+            best_lambda = float(lam)
+    return best_lambda

@@ -1,0 +1,86 @@
+"""Spectral analysis used by the look-back window discovery.
+
+Paper section 4.1: "Given a seasonal period, the spectral analysis method
+infers power for various frequency values.  We select the frequency with the
+highest power, provided the frequency value is nonzero ... The inverse value
+of the selected frequency is returned as a possible value of look-back."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["periodogram", "dominant_period", "spectral_peaks"]
+
+
+def periodogram(x, detrend: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(frequencies, power)`` of the one-sided periodogram.
+
+    Frequencies are in cycles per sample; the zero frequency is included so
+    callers can implement the paper's "use the second largest power when the
+    largest corresponds to frequency zero" rule.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = len(x)
+    if n < 4:
+        return np.array([0.0]), np.array([0.0])
+    if detrend:
+        # Remove a linear trend (not just the mean) so trending series do not
+        # hide their seasonal peaks behind low-frequency leakage.
+        time_index = np.arange(n, dtype=float)
+        slope, intercept = np.polyfit(time_index, x, 1)
+        x = x - (slope * time_index + intercept)
+    spectrum = np.fft.rfft(x)
+    power = (np.abs(spectrum) ** 2) / n
+    frequencies = np.fft.rfftfreq(n, d=1.0)
+    return frequencies, power
+
+
+def dominant_period(x, max_period: int | None = None) -> int | None:
+    """Return the period (in samples) with the highest non-zero-frequency power.
+
+    Returns ``None`` when no meaningful periodicity is found (constant or
+    too-short series).  ``max_period`` discards periods longer than the
+    provided bound (e.g. the seasonal period under inspection).
+    """
+    frequencies, power = periodogram(x)
+    if len(frequencies) < 3:
+        return None
+
+    order = np.argsort(power)[::-1]
+    for idx in order:
+        freq = frequencies[idx]
+        if freq <= 0:
+            continue
+        period = int(round(1.0 / freq))
+        if period <= 1:
+            continue
+        if max_period is not None and period > max_period:
+            continue
+        if power[idx] <= 0:
+            return None
+        return period
+    return None
+
+
+def spectral_peaks(x, n_peaks: int = 3, max_period: int | None = None) -> list[int]:
+    """Return up to ``n_peaks`` candidate periods ordered by spectral power."""
+    frequencies, power = periodogram(x)
+    if len(frequencies) < 3:
+        return []
+    order = np.argsort(power)[::-1]
+    periods: list[int] = []
+    for idx in order:
+        freq = frequencies[idx]
+        if freq <= 0 or power[idx] <= 0:
+            continue
+        period = int(round(1.0 / freq))
+        if period <= 1:
+            continue
+        if max_period is not None and period > max_period:
+            continue
+        if period not in periods:
+            periods.append(period)
+        if len(periods) >= n_peaks:
+            break
+    return periods

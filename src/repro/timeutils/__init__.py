@@ -1,0 +1,22 @@
+"""Timestamp and frequency utilities.
+
+Implements the timestamp-index assessment of the look-back discovery
+mechanism (section 4.1): inferring the observation frequency from the
+timestamp column, mapping that frequency to candidate seasonal periods
+(Table 1 of the paper), and regenerating timestamps for data sets with
+inconsistent time columns (section 5.1.2).
+"""
+
+from .frequency import Frequency, infer_frequency
+from .seasonality import SEASONAL_PERIOD_TABLE, candidate_seasonal_periods
+from .timestamps import generate_timestamps, regenerate_paper_timestamps, to_epoch_seconds
+
+__all__ = [
+    "Frequency",
+    "infer_frequency",
+    "SEASONAL_PERIOD_TABLE",
+    "candidate_seasonal_periods",
+    "generate_timestamps",
+    "regenerate_paper_timestamps",
+    "to_epoch_seconds",
+]

@@ -1,0 +1,89 @@
+"""Inference of the observation frequency from a timestamp column.
+
+The paper's look-back discovery "identifies the temporal frequency of the
+observations using timestamp column e.g., observations on daily basis (1D)
+or weekly basis (1W)".  Timestamps may be supplied as epoch seconds,
+``numpy.datetime64`` values, ISO strings or ``datetime`` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .timestamps import to_epoch_seconds
+
+__all__ = ["Frequency", "infer_frequency"]
+
+_SECONDS = {
+    "second": 1.0,
+    "minute": 60.0,
+    "hour": 3600.0,
+    "day": 86400.0,
+    "week": 604800.0,
+    "month": 2629800.0,  # average Gregorian month (365.25 / 12 days)
+    "year": 31557600.0,  # Julian year, matches Table 1's 365.25 days
+}
+
+
+class Frequency(Enum):
+    """Canonical observation frequencies recognised by the system."""
+
+    SECONDLY = "second"
+    MINUTELY = "minute"
+    HOURLY = "hour"
+    DAILY = "day"
+    WEEKLY = "week"
+    MONTHLY = "month"
+    YEARLY = "year"
+    UNKNOWN = "unknown"
+
+    @property
+    def seconds(self) -> float:
+        """Nominal length of one observation interval in seconds."""
+        if self is Frequency.UNKNOWN:
+            raise ValueError("Unknown frequency has no fixed duration.")
+        return _SECONDS[self.value]
+
+
+@dataclass
+class _FrequencyMatch:
+    frequency: Frequency
+    relative_error: float
+
+
+def infer_frequency(timestamps, tolerance: float = 0.15) -> Frequency:
+    """Infer the sampling frequency from a sequence of timestamps.
+
+    The median spacing between consecutive timestamps is compared against the
+    nominal duration of each canonical frequency; the closest match within
+    ``tolerance`` (relative error) wins.  Irregular or too-short timestamp
+    columns return :attr:`Frequency.UNKNOWN`, in which case the look-back
+    discovery falls back to the value-index assessment only.
+    """
+    if timestamps is None:
+        return Frequency.UNKNOWN
+    seconds = to_epoch_seconds(timestamps)
+    if seconds is None or len(seconds) < 3:
+        return Frequency.UNKNOWN
+
+    deltas = np.diff(np.sort(seconds))
+    deltas = deltas[deltas > 0]
+    if len(deltas) == 0:
+        return Frequency.UNKNOWN
+
+    median_delta = float(np.median(deltas))
+    matches = []
+    for frequency in Frequency:
+        if frequency is Frequency.UNKNOWN:
+            continue
+        nominal = frequency.seconds
+        relative_error = abs(median_delta - nominal) / nominal
+        matches.append(_FrequencyMatch(frequency, relative_error))
+
+    best = min(matches, key=lambda match: match.relative_error)
+    if best.relative_error > tolerance:
+        return Frequency.UNKNOWN
+    return best.frequency

@@ -1,0 +1,79 @@
+"""Frequency-to-seasonal-period mapping (Table 1 of the paper).
+
+"Next, the mechanism discovers the seasonal periods using the frequency of
+the input data.  In our case, seasonal period denotes the number of
+observations in each season and we intend to discover multiple seasonal
+periods.  For example, if discovered data frequency is 1D, the possible
+seasonal periods are 7 (1W), 30 (1M), 365.25 (1Y)."
+"""
+
+from __future__ import annotations
+
+from .frequency import Frequency
+
+__all__ = ["SEASONAL_PERIOD_TABLE", "candidate_seasonal_periods"]
+
+#: Table 1: number of observations of the row frequency contained in one
+#: unit of the column period.  Keys are data frequencies, values map the
+#: enclosing period name to the number of observations per season.
+SEASONAL_PERIOD_TABLE: dict[Frequency, dict[str, float]] = {
+    Frequency.YEARLY: {"year": 1.0},
+    Frequency.MONTHLY: {"month": 1.0, "year": 12.0},
+    Frequency.WEEKLY: {"week": 1.0, "month": 4.0, "year": 52.0},
+    Frequency.DAILY: {"day": 1.0, "week": 7.0, "month": 30.0, "year": 365.25},
+    Frequency.HOURLY: {
+        "hour": 1.0,
+        "day": 24.0,
+        "week": 168.0,
+        "month": 720.0,
+        "year": 8766.0,
+    },
+    Frequency.MINUTELY: {
+        "minute": 1.0,
+        "hour": 60.0,
+        "day": 1440.0,
+        "week": 10080.0,
+        "month": 43200.0,
+        "year": 525960.0,
+    },
+    Frequency.SECONDLY: {
+        "minute": 60.0,
+        "hour": 3600.0,
+        "day": 86400.0,
+        "week": 604800.0,
+        "month": 2592000.0,
+        "year": 31557600.0,
+    },
+}
+
+
+def candidate_seasonal_periods(
+    frequency: Frequency,
+    series_length: int | None = None,
+    include_unit: bool = False,
+) -> list[int]:
+    """Return candidate seasonal periods (observations per season).
+
+    Parameters
+    ----------
+    frequency:
+        Inferred data frequency.
+    series_length:
+        When given, periods that do not fit at least twice in the series are
+        dropped (a season must repeat to be observable).
+    include_unit:
+        Whether to keep the trivial period of 1 observation.  The look-back
+        sanity checks discard 0/1 values, so this defaults to False.
+    """
+    if frequency is Frequency.UNKNOWN or frequency not in SEASONAL_PERIOD_TABLE:
+        return []
+    periods: list[int] = []
+    for observations in SEASONAL_PERIOD_TABLE[frequency].values():
+        period = int(round(observations))
+        if period <= 1 and not include_unit:
+            continue
+        if series_length is not None and period * 2 > series_length:
+            continue
+        if period not in periods:
+            periods.append(period)
+    return sorted(periods)

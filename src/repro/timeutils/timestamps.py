@@ -1,0 +1,81 @@
+"""Timestamp parsing and generation without pandas.
+
+Supports the three timestamp representations the benchmark data can carry:
+epoch seconds (floats/ints), ``numpy.datetime64`` arrays and ISO-8601
+strings.  Also implements the paper's rule for data sets with inconsistent
+timestamps (section 5.1.2): regenerate with daily frequency when the series
+has fewer than 1000 samples, otherwise with one-minute frequency.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+__all__ = ["to_epoch_seconds", "generate_timestamps", "regenerate_paper_timestamps"]
+
+#: Fixed origin for generated timestamps so results are reproducible.
+DEFAULT_ORIGIN = np.datetime64("2020-01-01T00:00:00")
+
+
+def to_epoch_seconds(timestamps) -> np.ndarray | None:
+    """Convert a timestamp sequence to float epoch seconds.
+
+    Returns ``None`` when the input cannot be interpreted as timestamps,
+    which signals the caller to skip the timestamp-index assessment.
+    """
+    if timestamps is None:
+        return None
+    if isinstance(timestamps, np.ndarray) and np.issubdtype(timestamps.dtype, np.datetime64):
+        return timestamps.astype("datetime64[s]").astype("int64").astype(float)
+
+    values = list(np.asarray(timestamps).ravel())
+    if len(values) == 0:
+        return None
+
+    first = values[0]
+    if isinstance(first, (int, float, np.integer, np.floating)) and not isinstance(first, bool):
+        array = np.asarray(values, dtype=float)
+        return array if np.all(np.isfinite(array)) else None
+    if isinstance(first, _dt.datetime):
+        return np.array([value.timestamp() for value in values], dtype=float)
+    if isinstance(first, _dt.date):
+        return np.array(
+            [
+                _dt.datetime(value.year, value.month, value.day).timestamp()
+                for value in values
+            ],
+            dtype=float,
+        )
+    if isinstance(first, (str, np.str_)):
+        try:
+            array = np.array(values, dtype="datetime64[s]")
+        except ValueError:
+            return None
+        return array.astype("int64").astype(float)
+    return None
+
+
+def generate_timestamps(
+    n_samples: int,
+    frequency_seconds: float,
+    origin: np.datetime64 = DEFAULT_ORIGIN,
+) -> np.ndarray:
+    """Generate ``n_samples`` equally spaced ``datetime64[s]`` timestamps."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative.")
+    step = np.timedelta64(int(round(frequency_seconds)), "s")
+    origin = origin.astype("datetime64[s]")
+    return origin + step * np.arange(n_samples)
+
+
+def regenerate_paper_timestamps(n_samples: int) -> np.ndarray:
+    """Regenerate timestamps using the paper's section 5.1.2 rule.
+
+    Data sets with fewer than 1000 samples get daily timestamps; larger data
+    sets get one-minute timestamps.
+    """
+    if n_samples < 1000:
+        return generate_timestamps(n_samples, 86400.0)
+    return generate_timestamps(n_samples, 60.0)

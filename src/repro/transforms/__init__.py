@@ -1,0 +1,45 @@
+"""Data transformations used to build forecasting pipelines.
+
+The paper distinguishes *stateless* transforms (log, fisher, box_cox, ...)
+which can be inverted without remembering anything about the data, and
+*stateful* transforms (difference, flatten, localized flatten, normalized
+flatten) which retain state so the operation can be reversed at prediction
+time.  Inverse transformations are applied in reverse order of application.
+"""
+
+from .impute import InterpolationImputer
+from .resample import Downsampler, Upsampler
+from .scalers import MinMaxScaler, StandardScaler
+from .stateless import (
+    BoxCoxTransform,
+    FisherTransform,
+    IdentityTransform,
+    LogTransform,
+    SqrtTransform,
+)
+from .stateful import (
+    DifferenceTransform,
+    FlattenTransform,
+    LocalizedFlattenTransform,
+    NormalizedFlattenTransform,
+)
+from .window import SlidingWindowFramer, make_supervised_windows
+
+__all__ = [
+    "IdentityTransform",
+    "LogTransform",
+    "SqrtTransform",
+    "FisherTransform",
+    "BoxCoxTransform",
+    "DifferenceTransform",
+    "FlattenTransform",
+    "LocalizedFlattenTransform",
+    "NormalizedFlattenTransform",
+    "StandardScaler",
+    "MinMaxScaler",
+    "InterpolationImputer",
+    "Upsampler",
+    "Downsampler",
+    "SlidingWindowFramer",
+    "make_supervised_windows",
+]

@@ -1,0 +1,79 @@
+"""Missing value imputation.
+
+"These transformations can be used to fill-in missing values in data i.e.,
+interpolator transformer can be used" (paper section 4).  The quality-check
+stage routes data with NaNs through this imputer before pipeline generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array
+from ..core.base import BaseTransformer
+from ..exceptions import InvalidParameterError
+
+__all__ = ["InterpolationImputer", "interpolate_series"]
+
+_METHODS = ("linear", "nearest", "ffill", "mean")
+
+
+def interpolate_series(values: np.ndarray, method: str = "linear") -> np.ndarray:
+    """Fill NaNs in a 1-D series using the requested strategy.
+
+    All-NaN series are filled with zeros (there is nothing to interpolate
+    from); leading/trailing NaNs are filled with the nearest observed value.
+    """
+    values = np.asarray(values, dtype=float).copy()
+    mask = np.isnan(values)
+    if not mask.any():
+        return values
+    if mask.all():
+        return np.zeros_like(values)
+
+    observed_idx = np.where(~mask)[0]
+    observed = values[observed_idx]
+    missing_idx = np.where(mask)[0]
+
+    if method == "linear":
+        values[missing_idx] = np.interp(missing_idx, observed_idx, observed)
+    elif method == "nearest":
+        nearest_positions = np.searchsorted(observed_idx, missing_idx)
+        nearest_positions = np.clip(nearest_positions, 0, len(observed_idx) - 1)
+        left = np.clip(nearest_positions - 1, 0, len(observed_idx) - 1)
+        choose_left = np.abs(observed_idx[left] - missing_idx) <= np.abs(
+            observed_idx[nearest_positions] - missing_idx
+        )
+        picked = np.where(choose_left, left, nearest_positions)
+        values[missing_idx] = observed[picked]
+    elif method == "ffill":
+        positions = np.searchsorted(observed_idx, missing_idx, side="right") - 1
+        positions = np.clip(positions, 0, len(observed_idx) - 1)
+        values[missing_idx] = observed[positions]
+    elif method == "mean":
+        values[missing_idx] = float(np.mean(observed))
+    else:
+        raise InvalidParameterError(
+            f"Unknown interpolation method {method!r}; expected one of {_METHODS}."
+        )
+    return values
+
+
+class InterpolationImputer(BaseTransformer):
+    """Column-wise NaN imputation transformer."""
+
+    def __init__(self, method: str = "linear"):
+        self.method = method
+
+    def fit(self, X, y=None) -> "InterpolationImputer":
+        if self.method not in _METHODS:
+            raise InvalidParameterError(
+                f"Unknown interpolation method {self.method!r}; expected one of {_METHODS}."
+            )
+        self.n_features_ = as_2d_array(X).shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = as_2d_array(X)
+        columns = [interpolate_series(X[:, j], self.method) for j in range(X.shape[1])]
+        return np.column_stack(columns)

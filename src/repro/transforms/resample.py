@@ -1,0 +1,89 @@
+"""Up/down sampling transforms for irregular or mismatched-frequency data.
+
+"For models that require regular data, we can use up/down sampling as
+transformation in pipeline before feeding data to models that require
+regular data" (paper section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_positive_int
+from ..core.base import BaseTransformer
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Downsampler", "Upsampler"]
+
+_AGGREGATIONS = {
+    "mean": np.mean,
+    "sum": np.sum,
+    "last": lambda block, axis: block[-1] if axis == 0 else block[:, -1],
+    "max": np.max,
+    "min": np.min,
+}
+
+
+class Downsampler(BaseTransformer):
+    """Aggregate every ``factor`` consecutive samples into one."""
+
+    def __init__(self, factor: int = 2, aggregation: str = "mean"):
+        self.factor = factor
+        self.aggregation = aggregation
+
+    def fit(self, X, y=None) -> "Downsampler":
+        check_positive_int(self.factor, "factor")
+        if self.aggregation not in _AGGREGATIONS:
+            raise InvalidParameterError(
+                f"Unknown aggregation {self.aggregation!r}; "
+                f"expected one of {sorted(_AGGREGATIONS)}."
+            )
+        self.n_features_ = as_2d_array(X).shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = as_2d_array(X)
+        factor = int(self.factor)
+        n_blocks = len(X) // factor
+        if n_blocks == 0:
+            return X.copy()
+        trimmed = X[: n_blocks * factor]
+        blocks = trimmed.reshape(n_blocks, factor, X.shape[1])
+        if self.aggregation == "last":
+            return blocks[:, -1, :]
+        func = _AGGREGATIONS[self.aggregation]
+        return func(blocks, axis=1)
+
+
+class Upsampler(BaseTransformer):
+    """Insert ``factor - 1`` interpolated samples between consecutive rows."""
+
+    def __init__(self, factor: int = 2, method: str = "linear"):
+        self.factor = factor
+        self.method = method
+
+    def fit(self, X, y=None) -> "Upsampler":
+        check_positive_int(self.factor, "factor")
+        if self.method not in ("linear", "ffill"):
+            raise InvalidParameterError(
+                f"Unknown upsampling method {self.method!r}; expected 'linear' or 'ffill'."
+            )
+        self.n_features_ = as_2d_array(X).shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = as_2d_array(X)
+        factor = int(self.factor)
+        if factor == 1 or len(X) < 2:
+            return X.copy()
+        n_out = (len(X) - 1) * factor + 1
+        source_positions = np.arange(len(X)) * factor
+        target_positions = np.arange(n_out)
+        columns = []
+        for j in range(X.shape[1]):
+            if self.method == "linear":
+                columns.append(np.interp(target_positions, source_positions, X[:, j]))
+            else:
+                indices = np.clip(target_positions // factor, 0, len(X) - 1)
+                columns.append(X[indices, j])
+        return np.column_stack(columns)

@@ -1,0 +1,70 @@
+"""Feature scalers used by ML and deep-learning pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array
+from ..core.base import BaseTransformer, check_is_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler(BaseTransformer):
+    """Standardise columns to zero mean and unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = as_2d_array(X)
+        self.mean_ = np.nanmean(X, axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = np.nanstd(X, axis=0)
+            scale[scale == 0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("mean_", "scale_"))
+        X = as_2d_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("mean_", "scale_"))
+        X = as_2d_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseTransformer):
+    """Scale columns to the ``[feature_min, feature_max]`` range."""
+
+    def __init__(self, feature_min: float = 0.0, feature_max: float = 1.0):
+        self.feature_min = feature_min
+        self.feature_max = feature_max
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        if self.feature_max <= self.feature_min:
+            raise ValueError("feature_max must be greater than feature_min.")
+        X = as_2d_array(X)
+        self.data_min_ = np.nanmin(X, axis=0)
+        self.data_max_ = np.nanmax(X, axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0] = 1.0
+        self.data_range_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("data_min_", "data_range_"))
+        X = as_2d_array(X)
+        unit = (X - self.data_min_) / self.data_range_
+        return unit * (self.feature_max - self.feature_min) + self.feature_min
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("data_min_", "data_range_"))
+        X = as_2d_array(X)
+        unit = (X - self.feature_min) / (self.feature_max - self.feature_min)
+        return unit * self.data_range_ + self.data_min_

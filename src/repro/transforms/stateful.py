@@ -1,0 +1,151 @@
+"""Stateful transforms: difference, flatten, localized flatten, normalized flatten.
+
+"Stateful transformations retain the knowledge of the sequence of operations
+that are performed such as Difference, Flatten, Localized Flatten and
+Normalized Flatten" (paper section 3).  At prediction time the model output
+is reverse-transformed in the opposite order: stateful inverse first, then
+the stateless inverse.
+
+The flatten family converts a time series into a design matrix of look-back
+windows; they are the feature builders behind the AutoEnsembler pipelines
+(``FlattenAutoEnsembler``, ``DifferenceFlattenAutoEnsembler``,
+``LocalizedFlattenAutoEnsembler``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_positive_int
+from ..core.base import BaseTransformer, check_is_fitted
+
+__all__ = [
+    "DifferenceTransform",
+    "FlattenTransform",
+    "LocalizedFlattenTransform",
+    "NormalizedFlattenTransform",
+]
+
+
+class DifferenceTransform(BaseTransformer):
+    """First (or higher) order differencing with invertible state.
+
+    The transform remembers the last ``order`` rows of the training data so a
+    forecast expressed in differences can be integrated back to the original
+    scale by :meth:`inverse_transform`.
+    """
+
+    stateful = True
+
+    def __init__(self, order: int = 1):
+        self.order = order
+
+    def fit(self, X, y=None) -> "DifferenceTransform":
+        order = check_positive_int(self.order, "order")
+        X = as_2d_array(X)
+        if len(X) <= order:
+            raise ValueError(
+                f"Need more than order={order} samples to difference, got {len(X)}."
+            )
+        self.initial_rows_ = X[-order:].copy()
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("initial_rows_",))
+        X = as_2d_array(X)
+        return np.diff(X, n=self.order, axis=0)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Integrate differenced forecasts back to the original scale.
+
+        ``X`` is interpreted as future differenced values immediately
+        following the training data; integration starts from the stored last
+        training row(s).
+        """
+        check_is_fitted(self, ("initial_rows_",))
+        X = as_2d_array(X)
+        result = X
+        for _ in range(self.order):
+            result = np.cumsum(result, axis=0) + self.initial_rows_[-1]
+        return result
+
+
+class FlattenTransform(BaseTransformer):
+    """Flatten a time series into overlapping look-back windows.
+
+    Each output row is the concatenation of ``lookback`` consecutive rows of
+    the input (all series interleaved column-major by time step), producing a
+    design matrix suitable for IID regressors.
+    """
+
+    stateful = True
+
+    def __init__(self, lookback: int = 8):
+        self.lookback = lookback
+
+    def fit(self, X, y=None) -> "FlattenTransform":
+        lookback = check_positive_int(self.lookback, "lookback")
+        X = as_2d_array(X)
+        if len(X) <= lookback:
+            raise ValueError(
+                f"Series of length {len(X)} is too short for lookback={lookback}."
+            )
+        self.n_features_ = X.shape[1]
+        self.last_window_ = X[-lookback:].copy()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("last_window_",))
+        X = as_2d_array(X)
+        lookback = int(self.lookback)
+        n_windows = len(X) - lookback + 1
+        if n_windows <= 0:
+            return np.empty((0, lookback * X.shape[1]))
+        windows = np.stack([X[i : i + lookback] for i in range(n_windows)])
+        return windows.reshape(n_windows, lookback * X.shape[1])
+
+    def inverse_transform(self, X) -> np.ndarray:
+        return as_2d_array(X)
+
+
+class LocalizedFlattenTransform(FlattenTransform):
+    """Flatten windows expressed relative to the window's final value.
+
+    Subtracting the last value of each window removes the local level, which
+    helps regressors generalise across series with trends; the level is added
+    back by the ensembler when producing forecasts.
+    """
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("last_window_",))
+        X = as_2d_array(X)
+        lookback = int(self.lookback)
+        n_windows = len(X) - lookback + 1
+        if n_windows <= 0:
+            return np.empty((0, lookback * X.shape[1]))
+        windows = np.stack([X[i : i + lookback] for i in range(n_windows)])
+        anchors = windows[:, -1:, :]
+        localized = windows - anchors
+        return localized.reshape(n_windows, lookback * X.shape[1])
+
+
+class NormalizedFlattenTransform(FlattenTransform):
+    """Flatten windows standardised by each window's mean and deviation."""
+
+    def __init__(self, lookback: int = 8, epsilon: float = 1e-8):
+        super().__init__(lookback=lookback)
+        self.epsilon = epsilon
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("last_window_",))
+        X = as_2d_array(X)
+        lookback = int(self.lookback)
+        n_windows = len(X) - lookback + 1
+        if n_windows <= 0:
+            return np.empty((0, lookback * X.shape[1]))
+        windows = np.stack([X[i : i + lookback] for i in range(n_windows)])
+        means = windows.mean(axis=1, keepdims=True)
+        scales = windows.std(axis=1, keepdims=True) + self.epsilon
+        normalized = (windows - means) / scales
+        return normalized.reshape(n_windows, lookback * X.shape[1])

@@ -1,0 +1,120 @@
+"""Sliding-window supervised framing of time series.
+
+The ML and deep-learning forecasters transform the forecasting problem into
+an IID regression problem: each look-back window of ``lookback`` consecutive
+observations becomes a feature row and the following ``horizon`` values
+become the regression target(s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, check_positive_int
+from ..core.base import BaseTransformer, check_is_fitted
+
+__all__ = ["make_supervised_windows", "SlidingWindowFramer"]
+
+
+def make_supervised_windows(
+    X,
+    lookback: int,
+    horizon: int = 1,
+    target_column: int | None = None,
+    flatten: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a (multi-)series array into supervised ``(features, targets)``.
+
+    Parameters
+    ----------
+    X:
+        2-D array of shape ``(n_samples, n_series)`` (1-D is accepted and
+        treated as a single series).
+    lookback:
+        Number of past observations in each feature window.
+    horizon:
+        Number of future observations in each target.
+    target_column:
+        When given, targets contain only that series; otherwise targets cover
+        all series.
+    flatten:
+        When True (default) feature windows are flattened to
+        ``lookback * n_series`` columns; otherwise they keep the
+        ``(lookback, n_series)`` shape (used by sequence models).
+
+    Returns
+    -------
+    features:
+        ``(n_windows, lookback * n_series)`` (or 3-D when ``flatten=False``).
+    targets:
+        ``(n_windows, horizon * n_targets)``; squeezed to 1-D when a single
+        value per window is produced.
+    """
+    X = as_2d_array(X)
+    lookback = check_positive_int(lookback, "lookback")
+    horizon = check_positive_int(horizon, "horizon")
+
+    n_samples, n_series = X.shape
+    n_windows = n_samples - lookback - horizon + 1
+    if n_windows <= 0:
+        raise ValueError(
+            f"Series of length {n_samples} is too short for lookback={lookback} "
+            f"and horizon={horizon}."
+        )
+
+    feature_list = []
+    target_list = []
+    for start in range(n_windows):
+        window = X[start : start + lookback]
+        future = X[start + lookback : start + lookback + horizon]
+        if target_column is not None:
+            future = future[:, [target_column]]
+        feature_list.append(window)
+        target_list.append(future.ravel())
+
+    features = np.stack(feature_list)
+    if flatten:
+        features = features.reshape(n_windows, lookback * n_series)
+    targets = np.stack(target_list)
+    if targets.shape[1] == 1:
+        targets = targets.ravel()
+    return features, targets
+
+
+class SlidingWindowFramer(BaseTransformer):
+    """Transformer wrapper around :func:`make_supervised_windows`.
+
+    ``transform`` returns only the feature matrix (the framing of targets is
+    the estimator's concern); the most recent window is stored so a
+    forecaster can build the feature row for the first out-of-sample step.
+    """
+
+    stateful = True
+
+    def __init__(self, lookback: int = 8, flatten: bool = True):
+        self.lookback = lookback
+        self.flatten = flatten
+
+    def fit(self, X, y=None) -> "SlidingWindowFramer":
+        X = as_2d_array(X)
+        lookback = check_positive_int(self.lookback, "lookback")
+        if len(X) < lookback:
+            raise ValueError(
+                f"Series of length {len(X)} is shorter than lookback={lookback}."
+            )
+        self.n_features_ = X.shape[1]
+        self.last_window_ = X[-lookback:].copy()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ("last_window_",))
+        X = as_2d_array(X)
+        lookback = int(self.lookback)
+        n_windows = len(X) - lookback + 1
+        if n_windows <= 0:
+            shape = (0, lookback * X.shape[1]) if self.flatten else (0, lookback, X.shape[1])
+            return np.empty(shape)
+        windows = np.stack([X[i : i + lookback] for i in range(n_windows)])
+        if self.flatten:
+            return windows.reshape(n_windows, lookback * X.shape[1])
+        return windows

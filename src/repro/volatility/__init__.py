@@ -1,0 +1,18 @@
+"""Volatility models (paper section 6 future work: "high volatility models").
+
+Two standard conditional-variance models implemented on the numpy/scipy
+substrate:
+
+* :class:`EWMAVolatility` — RiskMetrics-style exponentially weighted moving
+  average of squared returns.
+* :class:`GARCHModel` — GARCH(1, 1) fitted by (Gaussian) maximum likelihood
+  with scipy's bounded optimiser.
+
+Both expose ``fit(returns)`` / ``forecast_variance(horizon)`` and a helper to
+convert a price/level series into returns, so they can be attached to any
+forecasting pipeline that needs volatility-aware prediction intervals.
+"""
+
+from .models import EWMAVolatility, GARCHModel, to_returns
+
+__all__ = ["EWMAVolatility", "GARCHModel", "to_returns"]

@@ -1,0 +1,157 @@
+"""EWMA and GARCH(1,1) conditional-volatility models."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import as_1d_array, check_horizon
+from ..core.base import BaseEstimator, check_is_fitted
+from ..exceptions import InvalidParameterError
+
+__all__ = ["to_returns", "EWMAVolatility", "GARCHModel"]
+
+
+def to_returns(levels, kind: str = "log") -> np.ndarray:
+    """Convert a price/level series into returns.
+
+    ``kind`` is ``"log"`` (default, requires positive levels) or ``"simple"``.
+    """
+    levels = as_1d_array(levels, name="levels")
+    if len(levels) < 2:
+        raise InvalidParameterError("Need at least two observations to compute returns.")
+    if kind == "log":
+        if np.nanmin(levels) <= 0:
+            raise InvalidParameterError("Log returns require strictly positive levels.")
+        return np.diff(np.log(levels))
+    if kind == "simple":
+        previous = levels[:-1]
+        previous = np.where(previous == 0, 1e-12, previous)
+        return np.diff(levels) / previous
+    raise InvalidParameterError(f"Unknown return kind {kind!r}; expected 'log' or 'simple'.")
+
+
+class EWMAVolatility(BaseEstimator):
+    """RiskMetrics exponentially weighted moving-average variance model.
+
+    ``sigma2[t] = lambda * sigma2[t-1] + (1 - lambda) * r[t-1]**2`` with the
+    classic decay ``lambda = 0.94`` for daily data.
+    """
+
+    def __init__(self, decay: float = 0.94):
+        self.decay = decay
+
+    def fit(self, returns) -> "EWMAVolatility":
+        if not 0.0 < self.decay < 1.0:
+            raise InvalidParameterError("decay must lie strictly between 0 and 1.")
+        returns = as_1d_array(returns, name="returns")
+        if len(returns) < 2:
+            raise InvalidParameterError("Need at least two returns to fit EWMA volatility.")
+
+        variance = np.empty(len(returns))
+        variance[0] = float(np.var(returns)) or 1e-12
+        for t in range(1, len(returns)):
+            variance[t] = self.decay * variance[t - 1] + (1 - self.decay) * returns[t - 1] ** 2
+        self.conditional_variance_ = variance
+        self.last_return_ = float(returns[-1])
+        return self
+
+    def forecast_variance(self, horizon: int = 1) -> np.ndarray:
+        """EWMA variance forecast (flat beyond one step by construction)."""
+        check_is_fitted(self, ("conditional_variance_",))
+        horizon = check_horizon(horizon)
+        next_variance = (
+            self.decay * self.conditional_variance_[-1]
+            + (1 - self.decay) * self.last_return_**2
+        )
+        return np.full(horizon, next_variance)
+
+    def forecast_volatility(self, horizon: int = 1) -> np.ndarray:
+        """Square root of :meth:`forecast_variance`."""
+        return np.sqrt(self.forecast_variance(horizon))
+
+
+class GARCHModel(BaseEstimator):
+    """GARCH(1, 1) with Gaussian quasi-maximum-likelihood estimation.
+
+    ``sigma2[t] = omega + alpha * r[t-1]**2 + beta * sigma2[t-1]``.
+    """
+
+    def __init__(self, initial_alpha: float = 0.08, initial_beta: float = 0.9):
+        self.initial_alpha = initial_alpha
+        self.initial_beta = initial_beta
+
+    @staticmethod
+    def _conditional_variance(
+        returns: np.ndarray, omega: float, alpha: float, beta: float
+    ) -> np.ndarray:
+        variance = np.empty(len(returns))
+        variance[0] = max(float(np.var(returns)), 1e-12)
+        for t in range(1, len(returns)):
+            variance[t] = omega + alpha * returns[t - 1] ** 2 + beta * variance[t - 1]
+            variance[t] = max(variance[t], 1e-18)
+        return variance
+
+    def _negative_log_likelihood(self, params: np.ndarray, returns: np.ndarray) -> float:
+        omega, alpha, beta = params
+        if omega <= 0 or alpha < 0 or beta < 0 or alpha + beta >= 0.999:
+            return 1e12
+        variance = self._conditional_variance(returns, omega, alpha, beta)
+        return float(0.5 * np.sum(np.log(variance) + returns**2 / variance))
+
+    def fit(self, returns) -> "GARCHModel":
+        returns = as_1d_array(returns, name="returns")
+        returns = returns - returns.mean()
+        if len(returns) < 20:
+            raise InvalidParameterError("Need at least 20 returns to fit a GARCH model.")
+
+        sample_variance = max(float(np.var(returns)), 1e-12)
+        initial_omega = sample_variance * (1 - self.initial_alpha - self.initial_beta)
+        initial = np.array([max(initial_omega, 1e-8), self.initial_alpha, self.initial_beta])
+        bounds = [(1e-10, 10.0 * sample_variance), (0.0, 0.6), (0.0, 0.999)]
+        result = optimize.minimize(
+            self._negative_log_likelihood,
+            initial,
+            args=(returns,),
+            bounds=bounds,
+            method="L-BFGS-B",
+        )
+        self.omega_, self.alpha_, self.beta_ = (float(value) for value in result.x)
+        self.conditional_variance_ = self._conditional_variance(
+            returns, self.omega_, self.alpha_, self.beta_
+        )
+        self.last_return_ = float(returns[-1])
+        self.log_likelihood_ = -float(result.fun)
+        return self
+
+    @property
+    def persistence(self) -> float:
+        """alpha + beta: how slowly volatility shocks decay."""
+        check_is_fitted(self, ("alpha_",))
+        return self.alpha_ + self.beta_
+
+    @property
+    def unconditional_variance(self) -> float:
+        """Long-run variance ``omega / (1 - alpha - beta)``."""
+        check_is_fitted(self, ("alpha_",))
+        return self.omega_ / max(1.0 - self.persistence, 1e-9)
+
+    def forecast_variance(self, horizon: int = 1) -> np.ndarray:
+        """Multi-step variance forecast, mean-reverting to the long-run level."""
+        check_is_fitted(self, ("alpha_",))
+        horizon = check_horizon(horizon)
+        forecasts = np.empty(horizon)
+        current = (
+            self.omega_
+            + self.alpha_ * self.last_return_**2
+            + self.beta_ * self.conditional_variance_[-1]
+        )
+        long_run = self.unconditional_variance
+        for step in range(horizon):
+            forecasts[step] = current
+            current = long_run + self.persistence * (current - long_run)
+        return forecasts
+
+    def forecast_volatility(self, horizon: int = 1) -> np.ndarray:
+        """Square root of :meth:`forecast_variance`."""
+        return np.sqrt(self.forecast_variance(horizon))

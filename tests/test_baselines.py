@@ -1,0 +1,119 @@
+"""Tests for the simulated SOTA toolkits."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ComponentToolkit,
+    DeepARLike,
+    GLSToolkit,
+    MotifToolkit,
+    NBeatsBaseline,
+    PmdarimaLike,
+    ProphetLike,
+    PyAFLike,
+    RollingRegressorToolkit,
+    SOTA_TOOLKITS,
+    WindowRegressorToolkit,
+)
+from repro.metrics import smape
+
+ALL_TOOLKITS = list(SOTA_TOOLKITS.items())
+
+
+def _split(series, horizon=12):
+    return series[:-horizon], series[-horizon:]
+
+
+class TestToolkitContract:
+    @pytest.mark.parametrize("name, toolkit_cls", ALL_TOOLKITS)
+    def test_fit_predict_univariate(self, name, toolkit_cls, seasonal_series):
+        train, _ = _split(seasonal_series)
+        model = toolkit_cls(horizon=12)
+        if isinstance(model, (DeepARLike, NBeatsBaseline)):
+            model.set_params(epochs=10)
+        model.fit(train)
+        forecast = model.predict(12)
+        assert forecast.shape == (12, 1)
+        assert np.all(np.isfinite(forecast))
+        assert model.name == name
+
+    @pytest.mark.parametrize(
+        "toolkit_cls", [ProphetLike, PmdarimaLike, GLSToolkit, MotifToolkit, ComponentToolkit]
+    )
+    def test_fit_predict_multivariate(self, toolkit_cls, multivariate_series):
+        model = toolkit_cls(horizon=6).fit(multivariate_series[:250])
+        assert model.predict(6).shape == (6, 3)
+
+    def test_ten_toolkits_registered(self):
+        assert len(SOTA_TOOLKITS) == 10
+
+
+class TestAccuracyProfiles:
+    def test_prophet_good_on_trend_seasonal(self, seasonal_series):
+        train, test = _split(seasonal_series)
+        assert smape(test, ProphetLike(horizon=12).fit(train).predict(12)) < 10.0
+
+    def test_prophet_struggles_on_random_walk(self, random_walk_series, seasonal_series):
+        rw_train, rw_test = _split(random_walk_series)
+        seasonal_train, seasonal_test = _split(seasonal_series)
+        rw_error = smape(rw_test, ProphetLike(horizon=12).fit(rw_train).predict(12))
+        seasonal_error = smape(
+            seasonal_test, ProphetLike(horizon=12).fit(seasonal_train).predict(12)
+        )
+        assert seasonal_error < rw_error + 5.0
+
+    def test_pmdarima_on_seasonal_data(self, seasonal_series):
+        train, test = _split(seasonal_series)
+        assert smape(test, PmdarimaLike(horizon=12).fit(train).predict(12)) < 10.0
+
+    def test_gls_on_seasonal_data(self, seasonal_series):
+        train, test = _split(seasonal_series)
+        assert smape(test, GLSToolkit(horizon=12).fit(train).predict(12)) < 10.0
+
+    def test_motif_on_repeating_pattern(self, weekly_series):
+        train, test = _split(weekly_series, 14)
+        assert smape(test, MotifToolkit(horizon=14).fit(train).predict(14)) < 20.0
+
+    def test_window_and_rolling_regressors(self, seasonal_series):
+        train, test = _split(seasonal_series)
+        for toolkit in (WindowRegressorToolkit(horizon=12), RollingRegressorToolkit(horizon=12)):
+            assert smape(test, toolkit.fit(train).predict(12)) < 15.0
+
+    def test_deepar_scaling_is_global(self, multivariate_series):
+        model = DeepARLike(horizon=4, epochs=5).fit(multivariate_series[:200])
+        assert len(model.scales_) == 3
+
+    def test_pyaf_decomposition_components_recorded(self, seasonal_series):
+        model = PyAFLike(horizon=6).fit(seasonal_series)
+        single = model.models_[0]
+        assert single["trend"]["kind"] in ("constant", "linear", "piecewise")
+        assert single["cycle"]["period"] >= 0
+
+    def test_component_toolkit_decomposes(self, seasonal_series):
+        model = ComponentToolkit(horizon=6).fit(seasonal_series)
+        assert model.models_[0]["period"] >= 1
+
+    def test_nbeats_picks_lookback(self, seasonal_series):
+        model = NBeatsBaseline(horizon=6, epochs=5, lookback_multipliers=(2,)).fit(
+            seasonal_series[:150]
+        )
+        assert model.model_.lookback >= 4
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("name, toolkit_cls", ALL_TOOLKITS)
+    def test_short_series_does_not_crash(self, name, toolkit_cls, short_series):
+        model = toolkit_cls(horizon=2)
+        if isinstance(model, (DeepARLike, NBeatsBaseline)):
+            model.set_params(epochs=3)
+        model.fit(short_series)
+        assert np.all(np.isfinite(model.predict(2)))
+
+    @pytest.mark.parametrize(
+        "toolkit_cls", [ProphetLike, GLSToolkit, MotifToolkit, RollingRegressorToolkit]
+    )
+    def test_constant_series(self, toolkit_cls):
+        series = np.full(60, 5.0)
+        forecast = toolkit_cls(horizon=4).fit(series).predict(4)
+        assert np.allclose(forecast, 5.0, atol=1.0)

@@ -1,0 +1,171 @@
+"""Tests for the benchmark runner, result containers and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarking import (
+    BenchmarkRunner,
+    FAST_PROFILE,
+    FULL_PROFILE,
+    autoai_toolkit_factories,
+    internal_pipeline_factories,
+    profile_multivariate_datasets,
+    profile_univariate_datasets,
+    render_average_rank_figure,
+    render_detail_table,
+    render_rank_histogram,
+    sota_toolkit_factories,
+)
+from repro.benchmarking.results import BenchmarkResults, ToolkitRun
+from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
+
+
+def _toy_toolkits():
+    return {
+        "Zero": lambda horizon: ZeroModelForecaster(horizon=horizon),
+        "Drift": lambda horizon: DriftForecaster(horizon=horizon),
+    }
+
+
+def _toy_datasets():
+    t = np.arange(120.0)
+    return {
+        "trend": 10.0 + 0.5 * t,
+        "flat": np.full(120, 30.0) + np.sin(t / 9.0),
+    }
+
+
+class TestRunner:
+    def test_runs_all_pairs(self):
+        runner = BenchmarkRunner(horizon=6)
+        results = runner.run(_toy_datasets(), _toy_toolkits())
+        assert len(results.runs) == 4
+        assert set(results.dataset_names) == {"trend", "flat"}
+        assert set(results.toolkit_names) == {"Zero", "Drift"}
+
+    def test_split_is_80_20(self):
+        runner = BenchmarkRunner(horizon=6)
+        train, test = runner.split(np.arange(100.0))
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_drift_wins_on_trend(self):
+        results = BenchmarkRunner(horizon=6).run(_toy_datasets(), _toy_toolkits())
+        ranking = results.accuracy_ranking()
+        drift_rank_on_trend = None
+        for run in results.runs:
+            pass
+        smape_table = results.smape_table()
+        assert smape_table["trend"]["Drift"] < smape_table["trend"]["Zero"]
+        assert ranking.average_rank["Drift"] <= ranking.average_rank["Zero"]
+
+    def test_failed_toolkit_recorded_as_zero(self):
+        def broken(horizon):
+            raise RuntimeError("cannot build")
+
+        results = BenchmarkRunner(horizon=6).run(
+            _toy_datasets(), {"Broken": broken, "Zero": lambda h: ZeroModelForecaster(horizon=h)}
+        )
+        broken_runs = [run for run in results.runs if run.toolkit == "Broken"]
+        assert all(run.failed for run in broken_runs)
+        assert all(run.table_cell == "0 (0)" for run in broken_runs)
+        assert results.failure_count("Broken") == 2
+        # Failed toolkits never appear in the rankings.
+        assert "Broken" not in results.accuracy_ranking().average_rank
+
+    def test_non_finite_forecast_counts_as_failure(self):
+        class _NaNModel(ZeroModelForecaster):
+            def predict(self, horizon=None):
+                return np.full((horizon or 1, 1), np.nan)
+
+        results = BenchmarkRunner(horizon=4).run(
+            {"flat": np.arange(50.0)}, {"NaN": lambda h: _NaNModel(horizon=h)}
+        )
+        assert results.runs[0].failed
+
+
+class TestResultsContainer:
+    def test_time_ranking_prefers_faster(self):
+        results = BenchmarkResults(horizon=6)
+        results.add(ToolkitRun("fast", "d1", smape=5.0, train_seconds=0.1))
+        results.add(ToolkitRun("slow", "d1", smape=4.0, train_seconds=10.0))
+        time_summary = results.time_ranking()
+        accuracy_summary = results.accuracy_ranking()
+        assert time_summary.average_rank["fast"] < time_summary.average_rank["slow"]
+        assert accuracy_summary.average_rank["slow"] < accuracy_summary.average_rank["fast"]
+
+    def test_average_smape(self):
+        results = BenchmarkResults(horizon=6)
+        results.add(ToolkitRun("a", "d1", smape=10.0, train_seconds=1.0))
+        results.add(ToolkitRun("a", "d2", smape=20.0, train_seconds=1.0))
+        assert results.average_smape("a") == pytest.approx(15.0)
+        assert np.isnan(results.average_smape("missing"))
+
+    def test_run_for_lookup(self):
+        results = BenchmarkResults(horizon=6)
+        run = ToolkitRun("a", "d1", smape=10.0, train_seconds=1.0)
+        results.add(run)
+        assert results.run_for("a", "d1") is run
+        assert results.run_for("a", "nope") is None
+
+
+class TestReporting:
+    @pytest.fixture()
+    def sample_results(self):
+        results = BenchmarkRunner(horizon=6).run(_toy_datasets(), _toy_toolkits())
+        return results
+
+    def test_detail_table_contains_all_cells(self, sample_results):
+        table = render_detail_table(sample_results, "Table X")
+        assert "Table X" in table
+        assert "trend" in table and "flat" in table
+        assert "Zero" in table and "Drift" in table
+        assert "(" in table  # smape (seconds) cells
+
+    def test_average_rank_figure(self, sample_results):
+        figure = render_average_rank_figure(sample_results.accuracy_ranking(), "Figure X")
+        assert "Figure X" in figure
+        assert "#" in figure
+        assert "lower is better" in figure
+
+    def test_rank_histogram(self, sample_results):
+        text = render_rank_histogram(sample_results.accuracy_ranking(), "Figure Y")
+        assert "r1" in text
+        assert "Drift" in text
+
+    def test_empty_results_render_gracefully(self):
+        empty = BenchmarkResults(horizon=6)
+        assert "(no successful runs)" in render_average_rank_figure(
+            empty.accuracy_ranking(), "Figure Z"
+        )
+
+
+class TestExperimentConfig:
+    def test_profiles(self):
+        assert FAST_PROFILE.max_series_length is not None
+        assert FULL_PROFILE.max_series_length is None
+        assert FAST_PROFILE.horizon == FULL_PROFILE.horizon == 12
+
+    def test_sota_factories_complete(self):
+        factories = sota_toolkit_factories()
+        assert len(factories) == 10
+        model = factories["Prophet"](6)
+        assert model.horizon == 6
+
+    def test_autoai_factory(self):
+        model = autoai_toolkit_factories()["AutoAI-TS"](8)
+        assert model.prediction_horizon == 8
+
+    def test_internal_pipeline_factories_cover_inventory(self):
+        factories = internal_pipeline_factories(lookback=6)
+        assert len(factories) == 10
+        pipeline = factories["HW_Additive"](4)
+        assert pipeline.name == "HW_Additive"
+
+    def test_profile_dataset_selection_spread(self):
+        uni = profile_univariate_datasets(FAST_PROFILE)
+        assert len(uni) == FAST_PROFILE.univariate_limit
+        lengths = {len(series) for series in uni.values()}
+        assert max(lengths) <= FAST_PROFILE.max_series_length
+        multi = profile_multivariate_datasets(FAST_PROFILE)
+        assert len(multi) == FAST_PROFILE.multivariate_limit

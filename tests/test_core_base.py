@@ -1,0 +1,136 @@
+"""Tests for the estimator framework: params, clone, fitted-state checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    BaseEstimator,
+    BaseForecaster,
+    BaseRegressor,
+    check_is_fitted,
+    clone,
+)
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.forecasters.naive import ZeroModelForecaster
+from repro.hybrid.window_regressor import WindowRegressor
+from repro.ml.linear import RidgeRegression
+
+
+class _Dummy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x", nested=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.nested = nested
+
+
+class TestGetSetParams:
+    def test_get_params_returns_constructor_args(self):
+        estimator = _Dummy(alpha=2.0, beta="y")
+        params = estimator.get_params()
+        assert params["alpha"] == 2.0
+        assert params["beta"] == "y"
+
+    def test_get_params_deep_includes_nested(self):
+        estimator = _Dummy(nested=_Dummy(alpha=5.0))
+        params = estimator.get_params(deep=True)
+        assert params["nested__alpha"] == 5.0
+
+    def test_set_params_simple(self):
+        estimator = _Dummy()
+        estimator.set_params(alpha=9.0)
+        assert estimator.alpha == 9.0
+
+    def test_set_params_nested(self):
+        estimator = _Dummy(nested=_Dummy())
+        estimator.set_params(nested__alpha=7.0)
+        assert estimator.nested.alpha == 7.0
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            _Dummy().set_params(gamma=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=3.0" in repr(_Dummy(alpha=3.0))
+
+
+class TestClone:
+    def test_clone_copies_params_but_not_fit_state(self):
+        model = ZeroModelForecaster(horizon=4)
+        model.fit(np.arange(20.0))
+        cloned = clone(model)
+        assert cloned.horizon == 4
+        assert not cloned.is_fitted
+        assert model.is_fitted
+
+    def test_clone_nested_estimator(self):
+        wrapper = WindowRegressor(regressor=RidgeRegression(alpha=3.0), lookback=5)
+        cloned = clone(wrapper)
+        assert cloned.regressor is not wrapper.regressor
+        assert cloned.regressor.alpha == 3.0
+
+    def test_clone_plain_object_deepcopied(self):
+        data = {"a": [1, 2]}
+        copied = clone(data)
+        assert copied == data
+        assert copied is not data
+
+
+class TestFittedState:
+    def test_check_is_fitted_raises_before_fit(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(ZeroModelForecaster())
+
+    def test_check_is_fitted_passes_after_fit(self):
+        model = ZeroModelForecaster().fit(np.arange(10.0))
+        check_is_fitted(model)
+
+    def test_check_specific_attributes(self):
+        model = ZeroModelForecaster().fit(np.arange(10.0))
+        check_is_fitted(model, ("last_values_",))
+        with pytest.raises(NotFittedError):
+            check_is_fitted(model, ("does_not_exist_",))
+
+
+class TestForecasterScore:
+    def test_score_is_negative_smape(self):
+        model = ZeroModelForecaster(horizon=3).fit(np.array([1.0, 2.0, 3.0, 4.0]))
+        # Forecast repeats 4.0; truth equals 4.0 -> SMAPE 0 -> score 0.
+        assert model.score(np.array([4.0, 4.0, 4.0])) == pytest.approx(0.0)
+
+    def test_score_worse_for_wrong_forecast(self):
+        model = ZeroModelForecaster(horizon=3).fit(np.array([1.0, 2.0, 3.0, 4.0]))
+        good = model.score(np.array([4.0, 4.0, 4.0]))
+        bad = model.score(np.array([8.0, 8.0, 8.0]))
+        assert bad < good
+
+
+class TestRegressorScore:
+    def test_r_squared_perfect(self):
+        model = RidgeRegression(alpha=0.0)
+        X = np.arange(20.0).reshape(-1, 1)
+        y = 3.0 * X.ravel() + 1.0
+        model.fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0, abs=1e-6)
+
+    def test_r_squared_constant_target(self):
+        model = RidgeRegression()
+        X = np.arange(10.0).reshape(-1, 1)
+        y = np.full(10, 5.0)
+        model.fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBaseRegressorInterface:
+    def test_abstract_methods_raise(self):
+        class _Incomplete(BaseRegressor):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            _Incomplete().fit(np.zeros((2, 1)), np.zeros(2))
+
+    def test_forecaster_interface_raises(self):
+        class _Incomplete(BaseForecaster):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            _Incomplete().fit(np.zeros((2, 1)))

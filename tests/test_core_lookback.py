@@ -1,0 +1,95 @@
+"""Tests for the automatic look-back window discovery (paper section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lookback import DEFAULT_LOOKBACK, LookbackDiscovery
+from repro.timeutils import generate_timestamps
+
+
+class TestUnivariateDiscovery:
+    def test_finds_seasonal_period_from_values(self, seasonal_series):
+        result = LookbackDiscovery().discover(seasonal_series)
+        assert any(abs(candidate - 12) <= 1 for candidate in result.candidates)
+
+    def test_weekly_period_found(self, weekly_series):
+        result = LookbackDiscovery().discover(weekly_series)
+        assert any(abs(candidate - 7) <= 1 for candidate in result.candidates)
+
+    def test_timestamp_assessment_adds_seasonal_candidates(self):
+        rng = np.random.default_rng(0)
+        series = 10.0 + rng.normal(0, 1, 400)
+        timestamps = generate_timestamps(400, 86400.0)  # daily data
+        result = LookbackDiscovery().discover(series, timestamps=timestamps)
+        # Daily data suggests weekly (7) and monthly (30) periods from Table 1.
+        assert 7 in result.sources or 30 in result.sources
+
+    def test_default_returned_for_constant_series(self):
+        result = LookbackDiscovery().discover(np.full(100, 5.0))
+        assert result.selected == DEFAULT_LOOKBACK
+        assert result.sources[DEFAULT_LOOKBACK] == "default"
+
+    def test_default_returned_for_tiny_series(self):
+        result = LookbackDiscovery().discover(np.array([1.0, 2.0, 3.0]))
+        assert result.selected == DEFAULT_LOOKBACK
+
+    def test_max_look_back_filters_candidates(self, seasonal_series):
+        result = LookbackDiscovery(max_look_back=10).discover(seasonal_series)
+        assert all(candidate <= 10 for candidate in result.candidates)
+
+    def test_values_zero_and_one_never_selected(self, rng):
+        noise = rng.normal(size=200)
+        result = LookbackDiscovery().discover(noise)
+        assert result.selected not in (0, 1)
+
+    def test_candidates_do_not_exceed_third_of_series(self, seasonal_series):
+        result = LookbackDiscovery().discover(seasonal_series)
+        assert all(candidate <= len(seasonal_series) // 3 for candidate in result.candidates)
+
+    def test_selected_is_first_candidate(self, seasonal_series):
+        result = LookbackDiscovery().discover(seasonal_series)
+        assert result.selected == result.candidates[0]
+
+    def test_deterministic_given_seed(self, seasonal_series):
+        first = LookbackDiscovery(random_state=1).discover(seasonal_series)
+        second = LookbackDiscovery(random_state=1).discover(seasonal_series)
+        assert first.candidates == second.candidates
+
+
+class TestMultivariateDiscovery:
+    def test_per_series_preferences_recorded(self, multivariate_series):
+        result = LookbackDiscovery().discover(multivariate_series)
+        assert len(result.per_series) == 3
+        assert result.selected >= 2
+
+    def test_cap_mode_respects_budget(self, multivariate_series):
+        budget = 18
+        result = LookbackDiscovery(max_look_back=budget, multivariate_mode="cap").discover(
+            multivariate_series
+        )
+        n_series = multivariate_series.shape[1]
+        assert all(candidate * n_series <= budget or candidate == max(1, budget // n_series)
+                   for candidate in result.candidates)
+
+    def test_drop_mode_may_fall_back_to_default(self, multivariate_series):
+        result = LookbackDiscovery(max_look_back=3, multivariate_mode="drop").discover(
+            multivariate_series
+        )
+        assert result.candidates  # never empty: falls back to the default value
+
+    def test_candidates_sorted_descending_by_construction(self, multivariate_series):
+        result = LookbackDiscovery().discover(multivariate_series)
+        assert result.candidates == sorted(result.candidates, reverse=True) or len(
+            result.candidates
+        ) == 1
+
+
+class TestInfluenceRanking:
+    def test_seasonal_window_preferred_over_noise_window(self):
+        # Strong 10-sample cycle: a window of 10 should rank ahead of a
+        # spurious small window because lagged values are far more predictive.
+        t = np.arange(400.0)
+        series = 50.0 + 10.0 * np.sin(2 * np.pi * t / 10.0)
+        series += np.random.default_rng(0).normal(0, 0.5, 400)
+        result = LookbackDiscovery().discover(series)
+        assert abs(result.selected - 10) <= 2 or result.selected % 10 <= 2

@@ -1,0 +1,94 @@
+"""Tests for the pipeline registry / inventory."""
+
+import numpy as np
+import pytest
+
+from repro.core import ForecastingPipeline, PipelineRegistry, default_pipeline_inventory
+from repro.core.registry import PAPER_PIPELINE_NAMES
+from repro.exceptions import InvalidParameterError
+
+
+class TestInventory:
+    def test_ten_paper_pipelines(self):
+        assert len(PAPER_PIPELINE_NAMES) == 10
+        registry = PipelineRegistry()
+        assert registry.names[:10] == list(PAPER_PIPELINE_NAMES)
+
+    def test_default_inventory_instantiates_all(self):
+        pipelines = default_pipeline_inventory(lookback=8, horizon=4)
+        assert len(pipelines) == 10
+        assert all(isinstance(p, ForecastingPipeline) for p in pipelines)
+        names = [p.name for p in pipelines]
+        assert names == list(PAPER_PIPELINE_NAMES)
+
+    def test_log_transform_gated_by_allow_log(self):
+        registry = PipelineRegistry()
+        with_log = registry.create("FlattenAutoEnsembler, log", allow_log=True)
+        without_log = registry.create("FlattenAutoEnsembler, log", allow_log=False)
+        assert len(with_log.steps) == 1
+        assert len(without_log.steps) == 0
+
+    def test_horizon_and_lookback_propagate(self):
+        registry = PipelineRegistry()
+        pipeline = registry.create("WindowRandomForest", lookback=17, horizon=9)
+        assert pipeline.forecaster.lookback == 17
+        assert pipeline.forecaster.horizon == 9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            PipelineRegistry().create("DoesNotExist")
+
+    def test_subset_creation(self):
+        pipelines = PipelineRegistry().create_all(names=["Arima", "bats"])
+        assert [p.name for p in pipelines] == ["Arima", "bats"]
+
+
+class TestRegistration:
+    def test_register_and_create_custom_pipeline(self, seasonal_series):
+        from repro.forecasters.naive import ZeroModelForecaster
+
+        registry = PipelineRegistry()
+
+        def factory(lookback, horizon, allow_log):
+            return ForecastingPipeline(
+                forecaster=ZeroModelForecaster(horizon=horizon), name_override="MyZero"
+            )
+
+        registry.register("MyZero", factory)
+        assert "MyZero" in registry.names
+        pipeline = registry.create("MyZero", horizon=3)
+        pipeline.fit(seasonal_series)
+        assert pipeline.predict(3).shape == (3, 1)
+
+    def test_register_duplicate_raises_unless_overwrite(self):
+        registry = PipelineRegistry()
+        factory = lambda lookback, horizon, allow_log: None  # noqa: E731
+        with pytest.raises(InvalidParameterError):
+            registry.register("Arima", factory)
+        registry.register("Arima", factory, overwrite=True)
+
+    def test_unregister(self):
+        registry = PipelineRegistry()
+        registry.unregister("Arima")
+        assert "Arima" not in registry.names
+        with pytest.raises(InvalidParameterError):
+            registry.unregister("Arima")
+
+    def test_optional_pipelines_enabled_on_demand(self):
+        registry = PipelineRegistry()
+        assert "NBeatsLike" not in registry.names
+        registry.enable_optional(["NBeatsLike"])
+        assert "NBeatsLike" in registry.names
+        everything = PipelineRegistry(include_optional=True)
+        assert {"MLPForecaster", "NBeatsLike", "Theta"} <= set(everything.names)
+
+
+class TestPipelineSmoke:
+    @pytest.mark.parametrize("name", PAPER_PIPELINE_NAMES)
+    def test_every_paper_pipeline_fits_and_predicts(self, name, weekly_series):
+        registry = PipelineRegistry()
+        pipeline = registry.create(name, lookback=7, horizon=6)
+        pipeline.fit(weekly_series[:200])
+        forecast = pipeline.predict(6)
+        assert forecast.shape == (6, 1)
+        assert np.all(np.isfinite(forecast))

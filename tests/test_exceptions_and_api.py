@@ -1,0 +1,77 @@
+"""Tests for the exception hierarchy and the top-level package API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AutoAITS, ForecastingPipeline, PipelineRegistry, TDaub, clone, smape
+from repro.exceptions import (
+    DataQualityError,
+    InvalidParameterError,
+    NotFittedError,
+    PipelineExecutionError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_derive_from_repro_error(self):
+        assert issubclass(DataQualityError, ReproError)
+        assert issubclass(InvalidParameterError, ReproError)
+        assert issubclass(NotFittedError, ReproError)
+        assert issubclass(PipelineExecutionError, ReproError)
+
+    def test_errors_also_derive_from_builtin_types(self):
+        assert issubclass(DataQualityError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(NotFittedError, RuntimeError)
+        assert issubclass(PipelineExecutionError, RuntimeError)
+
+    def test_not_fitted_message_names_estimator(self):
+        error = NotFittedError("AutoAITS")
+        assert "AutoAITS" in str(error)
+
+    def test_pipeline_execution_error_carries_context(self):
+        original = ValueError("bad input")
+        error = PipelineExecutionError("WindowSVR", "fit", original)
+        assert error.pipeline_name == "WindowSVR"
+        assert error.stage == "fit"
+        assert error.original is original
+        assert "WindowSVR" in str(error)
+
+    def test_catching_repro_error_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise DataQualityError("broken data")
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_public_classes_importable_from_top_level(self):
+        assert AutoAITS is repro.AutoAITS
+        assert TDaub is repro.TDaub
+        assert ForecastingPipeline is repro.ForecastingPipeline
+        assert PipelineRegistry is repro.PipelineRegistry
+
+    def test_smape_reexport_matches_metrics(self):
+        from repro.metrics.errors import smape as metrics_smape
+
+        assert smape is metrics_smape
+
+    def test_clone_reexport(self):
+        from repro.forecasters.naive import ZeroModelForecaster
+
+        model = ZeroModelForecaster(horizon=3)
+        assert clone(model).horizon == 3
+
+    def test_docstring_quickstart_pattern_runs(self):
+        series = np.sin(np.arange(120) / 5.0) + np.arange(120) * 0.01
+        model = AutoAITS(prediction_horizon=6, pipeline_names=["HW_Additive", "MT2RForecaster"])
+        forecast = model.fit(series).predict(6)
+        assert forecast.shape == (6, 1)

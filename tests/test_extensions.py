@@ -1,0 +1,182 @@
+"""Tests for the future-work extensions: anomaly detection, volatility, causality."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import ForecastResidualDetector, SeasonalESDDetector
+from repro.causal import build_causal_graph, granger_causality
+from repro.exceptions import InvalidParameterError
+from repro.forecasters.ets import DoubleExponentialSmoothing
+from repro.volatility import EWMAVolatility, GARCHModel, to_returns
+
+
+@pytest.fixture(scope="module")
+def seasonal_with_anomalies():
+    """Clean 24-period seasonal signal with five injected spikes."""
+    t = np.arange(600.0)
+    series = 100.0 + 10.0 * np.sin(2 * np.pi * t / 24.0)
+    series += np.random.default_rng(0).normal(0, 0.5, 600)
+    anomaly_positions = [250, 310, 400, 480, 555]
+    series[anomaly_positions] += 40.0
+    return series, anomaly_positions
+
+
+class TestForecastResidualDetector:
+    def test_finds_injected_spikes(self, seasonal_with_anomalies):
+        series, positions = seasonal_with_anomalies
+        result = ForecastResidualDetector(threshold=5.0).fit_detect(series)
+        found = set(result.indices.tolist())
+        assert sum(1 for position in positions if position in found) >= 4
+        # The false-positive load stays small relative to the series length.
+        assert len(result) < 0.05 * len(series)
+
+    def test_custom_forecaster(self, seasonal_with_anomalies):
+        series, positions = seasonal_with_anomalies
+        detector = ForecastResidualDetector(
+            forecaster=DoubleExponentialSmoothing(), threshold=6.0, refit_every=50
+        )
+        result = detector.fit_detect(series)
+        assert result.scores.shape == series.shape
+        assert result.threshold == 6.0
+
+    def test_mask_matches_indices(self, seasonal_with_anomalies):
+        series, _ = seasonal_with_anomalies
+        result = ForecastResidualDetector().fit_detect(series[:300])
+        assert result.mask.sum() == len(result)
+
+    def test_clean_series_has_few_flags(self):
+        t = np.arange(400.0)
+        series = 50.0 + 5.0 * np.sin(2 * np.pi * t / 12.0)
+        result = ForecastResidualDetector(threshold=6.0).fit_detect(series)
+        assert len(result) <= 4
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ForecastResidualDetector().fit_detect(np.arange(10.0))
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ForecastResidualDetector(threshold=0.0).fit_detect(np.arange(100.0))
+
+
+class TestSeasonalESD:
+    def test_finds_spikes(self, seasonal_with_anomalies):
+        series, positions = seasonal_with_anomalies
+        result = SeasonalESDDetector(max_anomalies_fraction=0.03).fit_detect(series)
+        found = set(result.indices.tolist())
+        assert sum(1 for position in positions if position in found) >= 4
+
+    def test_respects_max_fraction(self, seasonal_with_anomalies):
+        series, _ = seasonal_with_anomalies
+        result = SeasonalESDDetector(max_anomalies_fraction=0.01).fit_detect(series)
+        assert len(result) <= int(0.01 * len(series))
+
+    def test_constant_series_has_no_anomalies(self):
+        result = SeasonalESDDetector().fit_detect(np.full(100, 3.0))
+        assert len(result) == 0
+
+    def test_explicit_period_used(self, seasonal_with_anomalies):
+        series, _ = seasonal_with_anomalies
+        result = SeasonalESDDetector(seasonal_period=24).fit_detect(series)
+        assert result.extras["seasonal_period"] == 24
+
+    def test_too_short_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SeasonalESDDetector().fit_detect(np.arange(5.0))
+
+
+class TestVolatility:
+    @pytest.fixture(scope="class")
+    def garch_returns(self):
+        """Simulated GARCH(1,1) returns with known parameters."""
+        rng = np.random.default_rng(3)
+        n = 3000
+        omega, alpha, beta = 0.05, 0.1, 0.85
+        returns = np.zeros(n)
+        variance = omega / (1 - alpha - beta)
+        for t in range(1, n):
+            variance = omega + alpha * returns[t - 1] ** 2 + beta * variance
+            returns[t] = rng.normal(0.0, np.sqrt(variance))
+        return returns
+
+    def test_to_returns_log_and_simple(self):
+        levels = np.array([100.0, 110.0, 99.0])
+        log_returns = to_returns(levels, kind="log")
+        simple_returns = to_returns(levels, kind="simple")
+        assert log_returns.shape == (2,)
+        assert simple_returns[0] == pytest.approx(0.10)
+        with pytest.raises(InvalidParameterError):
+            to_returns(np.array([1.0, -1.0]), kind="log")
+        with pytest.raises(InvalidParameterError):
+            to_returns(levels, kind="exotic")
+
+    def test_ewma_tracks_volatility_regimes(self):
+        rng = np.random.default_rng(1)
+        calm = rng.normal(0, 0.5, 500)
+        wild = rng.normal(0, 3.0, 500)
+        model_calm = EWMAVolatility().fit(calm)
+        model_wild = EWMAVolatility().fit(np.concatenate([calm, wild]))
+        assert model_wild.forecast_volatility(1)[0] > model_calm.forecast_volatility(1)[0]
+
+    def test_ewma_invalid_decay(self):
+        with pytest.raises(InvalidParameterError):
+            EWMAVolatility(decay=1.5).fit(np.random.default_rng(0).normal(size=50))
+
+    def test_garch_recovers_persistence(self, garch_returns):
+        model = GARCHModel().fit(garch_returns)
+        assert model.persistence == pytest.approx(0.95, abs=0.08)
+        assert model.unconditional_variance == pytest.approx(1.0, rel=0.5)
+
+    def test_garch_variance_forecast_mean_reverts(self, garch_returns):
+        model = GARCHModel().fit(garch_returns)
+        forecast = model.forecast_variance(200)
+        long_run = model.unconditional_variance
+        assert abs(forecast[-1] - long_run) < abs(forecast[0] - long_run) + 1e-9
+
+    def test_garch_too_short_raises(self):
+        with pytest.raises(InvalidParameterError):
+            GARCHModel().fit(np.random.default_rng(0).normal(size=10))
+
+
+class TestGrangerCausality:
+    @pytest.fixture(scope="class")
+    def coupled_series(self):
+        """x drives y with a 2-step lag; z is independent noise."""
+        rng = np.random.default_rng(5)
+        n = 500
+        x = rng.normal(size=n)
+        y = np.zeros(n)
+        for t in range(2, n):
+            y[t] = 0.8 * x[t - 2] + 0.2 * y[t - 1] + 0.3 * rng.normal()
+        z = rng.normal(size=n)
+        return x, y, z
+
+    def test_detects_true_direction(self, coupled_series):
+        x, y, _ = coupled_series
+        forward = granger_causality(x, y, lags=3)
+        backward = granger_causality(y, x, lags=3)
+        assert forward.causal
+        assert forward.p_value < backward.p_value
+
+    def test_independent_series_not_causal(self, coupled_series):
+        x, _, z = coupled_series
+        result = granger_causality(z, x, lags=3)
+        assert not result.causal
+
+    def test_too_short_raises(self):
+        with pytest.raises(InvalidParameterError):
+            granger_causality(np.arange(10.0), np.arange(10.0), lags=4)
+
+    def test_causal_graph_edges(self, coupled_series):
+        x, y, z = coupled_series
+        data = np.column_stack([x, y, z])
+        result = build_causal_graph(data, names=["x", "y", "z"], lags=3)
+        assert ("x", "y") in result.graph.edges
+        assert "x" in result.drivers_of("y")
+        assert ("z", "x") not in result.graph.edges
+        assert result.results[("x", "y")].causal
+
+    def test_name_length_mismatch_raises(self, coupled_series):
+        x, y, _ = coupled_series
+        with pytest.raises(InvalidParameterError):
+            build_causal_graph(np.column_stack([x, y]), names=["only-one"])

@@ -1,0 +1,106 @@
+"""Tests for temporal splits, expanding-window CV and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.forecasters.ets import SimpleExponentialSmoothing
+from repro.metrics import smape
+from repro.ml import GridSearch, TimeSeriesSplit, temporal_train_test_split
+
+
+class TestTemporalSplit:
+    def test_default_80_20(self):
+        train, test = temporal_train_test_split(np.arange(100.0))
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_order_preserved(self):
+        train, test = temporal_train_test_split(np.arange(10.0), test_fraction=0.3)
+        assert train[-1] < test[0]
+
+    def test_min_test_enforced(self):
+        train, test = temporal_train_test_split(np.arange(10.0), test_fraction=0.01, min_test=2)
+        assert len(test) == 2
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_train_test_split(np.arange(10.0), test_fraction=1.5)
+
+    def test_too_small_raises(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_train_test_split(np.arange(3.0), test_fraction=0.9, min_train=5)
+
+
+class TestTimeSeriesSplit:
+    def test_expanding_windows(self):
+        splitter = TimeSeriesSplit(n_splits=3, test_size=10)
+        splits = list(splitter.split(np.arange(100.0)))
+        assert len(splits) == 3
+        train_sizes = [len(train) for train, _ in splits]
+        assert train_sizes == sorted(train_sizes)
+        for train_idx, test_idx in splits:
+            assert train_idx[-1] + 1 == test_idx[0]
+            assert len(test_idx) == 10
+
+    def test_no_overlap_between_test_folds(self):
+        splitter = TimeSeriesSplit(n_splits=4, test_size=5)
+        test_sets = [set(test.tolist()) for _, test in splitter.split(np.arange(60.0))]
+        for i in range(len(test_sets)):
+            for j in range(i + 1, len(test_sets)):
+                assert not test_sets[i] & test_sets[j]
+
+    def test_insufficient_data_raises(self):
+        with pytest.raises(InvalidParameterError):
+            list(TimeSeriesSplit(n_splits=5, test_size=10).split(np.arange(20.0)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeriesSplit(n_splits=0)
+
+
+class TestGridSearch:
+    def test_finds_better_alpha(self, seasonal_series):
+        def scorer(estimator, train, test):
+            estimator.fit(train.reshape(-1, 1))
+            forecast = estimator.predict(len(test)).ravel()
+            return -smape(test, forecast)
+
+        search = GridSearch(
+            estimator=SimpleExponentialSmoothing(),
+            param_grid={"alpha": [0.05, 0.5, 0.95]},
+            scorer=scorer,
+            cv=TimeSeriesSplit(n_splits=2, test_size=12),
+        )
+        result = search.fit(seasonal_series)
+        assert result.best_params["alpha"] in (0.05, 0.5, 0.95)
+        assert len(result.all_scores) == 3
+        assert result.best_score == max(result.all_scores.values())
+
+    def test_empty_grid_raises(self):
+        search = GridSearch(
+            estimator=SimpleExponentialSmoothing(),
+            param_grid={},
+            scorer=lambda est, train, test: 0.0,
+        )
+        with pytest.raises(InvalidParameterError):
+            search.fit(np.arange(50.0))
+
+    def test_failing_configuration_is_skipped(self, seasonal_series):
+        calls = {"count": 0}
+
+        def scorer(estimator, train, test):
+            calls["count"] += 1
+            if estimator.alpha == 0.5:
+                raise RuntimeError("boom")
+            return float(estimator.alpha)
+
+        search = GridSearch(
+            estimator=SimpleExponentialSmoothing(),
+            param_grid={"alpha": [0.1, 0.5, 0.9]},
+            scorer=scorer,
+            cv=TimeSeriesSplit(n_splits=1, test_size=10),
+        )
+        result = search.fit(seasonal_series)
+        assert result.best_params["alpha"] == 0.9
+        assert calls["count"] == 3

@@ -1,0 +1,126 @@
+"""Tests for frequency inference, Table 1 seasonal mapping and timestamp helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.timeutils import (
+    Frequency,
+    SEASONAL_PERIOD_TABLE,
+    candidate_seasonal_periods,
+    generate_timestamps,
+    infer_frequency,
+    regenerate_paper_timestamps,
+    to_epoch_seconds,
+)
+
+
+class TestToEpochSeconds:
+    def test_numeric_passthrough(self):
+        seconds = to_epoch_seconds([0.0, 60.0, 120.0])
+        assert np.allclose(seconds, [0.0, 60.0, 120.0])
+
+    def test_datetime64(self):
+        stamps = np.array(["2021-01-01", "2021-01-02"], dtype="datetime64[s]")
+        seconds = to_epoch_seconds(stamps)
+        assert seconds[1] - seconds[0] == 86400.0
+
+    def test_iso_strings(self):
+        seconds = to_epoch_seconds(["2021-01-01T00:00:00", "2021-01-01T01:00:00"])
+        assert seconds[1] - seconds[0] == 3600.0
+
+    def test_python_datetimes(self):
+        stamps = [dt.datetime(2021, 1, 1), dt.datetime(2021, 1, 8)]
+        seconds = to_epoch_seconds(stamps)
+        assert seconds[1] - seconds[0] == 7 * 86400.0
+
+    def test_none_and_garbage(self):
+        assert to_epoch_seconds(None) is None
+        assert to_epoch_seconds(["not a date", "still not"]) is None
+
+    def test_empty(self):
+        assert to_epoch_seconds([]) is None
+
+
+class TestInferFrequency:
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            (60.0, Frequency.MINUTELY),
+            (3600.0, Frequency.HOURLY),
+            (86400.0, Frequency.DAILY),
+            (604800.0, Frequency.WEEKLY),
+        ],
+    )
+    def test_regular_spacing(self, seconds, expected):
+        stamps = np.arange(50) * seconds
+        assert infer_frequency(stamps) is expected
+
+    def test_monthly_from_datetime64(self):
+        stamps = np.arange("2018-01", "2021-01", dtype="datetime64[M]").astype("datetime64[s]")
+        assert infer_frequency(stamps) is Frequency.MONTHLY
+
+    def test_irregular_returns_unknown(self):
+        stamps = np.array([0.0, 10.0, 500.0, 501.0, 9999.0])
+        assert infer_frequency(stamps) is Frequency.UNKNOWN
+
+    def test_too_short_returns_unknown(self):
+        assert infer_frequency([0.0, 60.0]) is Frequency.UNKNOWN
+
+    def test_none_returns_unknown(self):
+        assert infer_frequency(None) is Frequency.UNKNOWN
+
+
+class TestSeasonalPeriods:
+    def test_table1_daily_row(self):
+        periods = candidate_seasonal_periods(Frequency.DAILY)
+        assert 7 in periods
+        assert 30 in periods
+        assert 365 in periods
+
+    def test_table1_minutely_row(self):
+        periods = candidate_seasonal_periods(Frequency.MINUTELY)
+        assert 60 in periods
+        assert 1440 in periods
+
+    def test_table1_hourly_row_matches_paper(self):
+        assert SEASONAL_PERIOD_TABLE[Frequency.HOURLY]["week"] == 168.0
+        assert SEASONAL_PERIOD_TABLE[Frequency.HOURLY]["year"] == 8766.0
+
+    def test_series_length_filters_long_periods(self):
+        periods = candidate_seasonal_periods(Frequency.DAILY, series_length=100)
+        assert 365 not in periods
+        assert 7 in periods
+
+    def test_unknown_frequency_gives_nothing(self):
+        assert candidate_seasonal_periods(Frequency.UNKNOWN) == []
+
+    def test_unit_period_excluded_by_default(self):
+        periods = candidate_seasonal_periods(Frequency.YEARLY)
+        assert periods == []
+        assert candidate_seasonal_periods(Frequency.YEARLY, include_unit=True) == [1]
+
+
+class TestTimestampGeneration:
+    def test_generate_equally_spaced(self):
+        stamps = generate_timestamps(10, 3600.0)
+        deltas = np.diff(stamps).astype("timedelta64[s]").astype(int)
+        assert np.all(deltas == 3600)
+
+    def test_paper_rule_small_is_daily(self):
+        stamps = regenerate_paper_timestamps(500)
+        assert infer_frequency(stamps) is Frequency.DAILY
+
+    def test_paper_rule_large_is_minutely(self):
+        stamps = regenerate_paper_timestamps(1500)
+        assert infer_frequency(stamps) is Frequency.MINUTELY
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_timestamps(-1, 60.0)
+
+    def test_frequency_seconds_property(self):
+        assert Frequency.DAILY.seconds == 86400.0
+        with pytest.raises(ValueError):
+            _ = Frequency.UNKNOWN.seconds
