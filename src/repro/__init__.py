@@ -3,8 +3,9 @@
 The package is organised into substrates (``ml``, ``forecasters``,
 ``hybrid``, ``dl``, ``transforms``, ``stats``, ``timeutils``), the core
 zero-conf system (``core``: AutoAITS, T-Daub, look-back discovery, pipeline
-registry), the evaluation machinery (``metrics``, ``data``, ``baselines``,
-``benchmarking``).
+registry), the execution engine (``exec``: serial/thread/process backends
+and evaluation memoization), and the evaluation machinery (``metrics``,
+``data``, ``baselines``, ``benchmarking``).
 
 Quickstart
 ----------

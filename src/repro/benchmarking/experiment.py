@@ -143,14 +143,24 @@ def sota_toolkit_factories() -> Dict[str, ToolkitFactory]:
     }
 
 
-def autoai_toolkit_factories(run_to_completion: int = 1) -> Dict[str, ToolkitFactory]:
-    """Factory for AutoAI-TS itself (10 internal pipelines, zero-conf)."""
+def autoai_toolkit_factories(
+    run_to_completion: int = 1,
+    n_jobs: int | None = None,
+    executor=None,
+) -> Dict[str, ToolkitFactory]:
+    """Factory for AutoAI-TS itself (10 internal pipelines, zero-conf).
+
+    ``n_jobs``/``executor`` are forwarded to T-Daub so the inner pipeline
+    ranking can itself run parallel inside one benchmark cell.
+    """
 
     def make(horizon: int) -> AutoAITS:
         return AutoAITS(
             prediction_horizon=horizon,
             run_to_completion=run_to_completion,
             holdout_fraction=0.2,
+            n_jobs=n_jobs,
+            executor=executor,
         )
 
     return {"AutoAI-TS": make}

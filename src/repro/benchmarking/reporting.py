@@ -56,6 +56,9 @@ def render_detail_table(
             f"{index:>5d}  {dataset:<{name_width}s}"
             + "".join(f"{cell:>{column_width}s}" for cell in cells)
         )
+    if any(run.over_budget for run in results.runs):
+        lines.append("")
+        lines.append("* exceeded the per-run training-time budget")
     return "\n".join(lines)
 
 

@@ -17,7 +17,10 @@ class ToolkitRun:
     """Outcome of one toolkit on one data set.
 
     A failed run mirrors the paper's "0 (0)" convention: SMAPE and seconds
-    are stored as 0 and the run is excluded from rankings.
+    are stored as 0 and the run is excluded from rankings.  ``over_budget``
+    marks runs that exceeded the runner's per-run training budget: either
+    preempted (process backend — also ``failed``) or kept but flagged
+    (serial/thread backends, which cannot preempt Python).
     """
 
     toolkit: str
@@ -26,13 +29,19 @@ class ToolkitRun:
     train_seconds: float
     failed: bool = False
     error: str = ""
+    over_budget: bool = False
 
     @property
     def table_cell(self) -> str:
-        """Cell text in the Tables 4/5/6 format: ``smape (seconds)``."""
+        """Cell text in the Tables 4/5/6 format: ``smape (seconds)``.
+
+        Over-budget runs carry a ``*`` marker; the detail-table renderer
+        prints the matching footnote.
+        """
+        marker = "*" if self.over_budget else ""
         if self.failed:
-            return "0 (0)"
-        return f"{self.smape:.2f} ({self.train_seconds:.2f})"
+            return f"0 (0){marker}"
+        return f"{self.smape:.2f} ({self.train_seconds:.2f}){marker}"
 
 
 @dataclass

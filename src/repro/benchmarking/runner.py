@@ -3,18 +3,26 @@
 "The benchmarking mechanism ... enables us to run experiments both on our
 system, i.e., AutoAI-TS as well as on the 10 SOTA frameworks with the same
 train-test split to get comparative performance results" (section 5).
+
+Every ``(dataset, toolkit)`` cell of the matrix is independent, so the
+runner fans the whole matrix through the execution engine
+(:mod:`repro.exec`).  With the process backend the per-run training budget
+is *enforced*: a toolkit that overruns ``max_train_seconds`` is terminated
+and recorded as an over-budget failure.  The serial and thread backends
+cannot preempt Python, so there the budget stays soft — the run is kept but
+flagged ``over_budget`` so reports can call it out.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
 from .._validation import as_2d_array, check_fraction, check_horizon
 from ..core.base import BaseForecaster
-from ..metrics.errors import smape
+from ..exec.executor import BaseExecutor, SerialExecutor, get_executor
+from ..exec.tasks import ToolkitRunTask, run_toolkit_task
 from .results import BenchmarkResults, ToolkitRun
 
 __all__ = ["BenchmarkRunner"]
@@ -34,9 +42,15 @@ class BenchmarkRunner:
     evaluation_window:
         Number of holdout points scored with SMAPE; defaults to ``horizon``.
     max_train_seconds:
-        Soft per-run budget.  A run that exceeds it is *kept* (we cannot
-        preempt Python), but the overrun is recorded so reports can flag it;
-        set it to ``None`` to disable the check.
+        Per-run training budget.  Enforced (the worker is terminated) on the
+        process backend; soft (run kept, flagged ``over_budget``) on the
+        serial and thread backends.  ``None`` disables the check.
+    n_jobs:
+        Number of matrix cells evaluated concurrently.
+    executor:
+        Execution backend: ``None`` (serial for ``n_jobs<=1``, processes
+        otherwise), ``"serial"``, ``"threads"``, ``"processes"`` or a
+        :class:`~repro.exec.BaseExecutor` instance.
     verbose:
         Print one line per (dataset, toolkit) pair as the matrix runs.
     """
@@ -47,12 +61,16 @@ class BenchmarkRunner:
         train_fraction: float = 0.8,
         evaluation_window: int | None = None,
         max_train_seconds: float | None = None,
+        n_jobs: int | None = None,
+        executor: str | BaseExecutor | None = None,
         verbose: bool = False,
     ):
         self.horizon = check_horizon(horizon)
         self.train_fraction = check_fraction(train_fraction, "train_fraction")
         self.evaluation_window = evaluation_window
         self.max_train_seconds = max_train_seconds
+        self.n_jobs = n_jobs
+        self.executor = executor
         self.verbose = verbose
 
     def _log(self, message: str) -> None:
@@ -69,24 +87,18 @@ class BenchmarkRunner:
     def evaluate_toolkit(
         self, factory: ToolkitFactory, train: np.ndarray, test: np.ndarray
     ) -> tuple[float, float, str]:
-        """Fit one toolkit and return ``(smape, seconds, error_message)``."""
-        window = self.evaluation_window or self.horizon
-        window = min(window, len(test))
-        start = time.perf_counter()
-        try:
-            model = factory(self.horizon)
-            model.fit(train)
-            elapsed = time.perf_counter() - start
-            forecast = np.asarray(model.predict(window), dtype=float)
-            if forecast.ndim == 1:
-                forecast = forecast.reshape(-1, 1)
-            if not np.all(np.isfinite(forecast)):
-                raise ValueError("forecast contains non-finite values")
-            error = smape(test[:window], forecast[:window])
-            return float(error), float(elapsed), ""
-        except Exception as exc:  # noqa: BLE001 - failures become "0 (0)" entries
-            elapsed = time.perf_counter() - start
-            return 0.0, float(elapsed), repr(exc)
+        """Fit one toolkit in-process and return ``(smape, seconds, error)``."""
+        result = run_toolkit_task(
+            ToolkitRunTask(
+                tag=None,
+                factory=factory,
+                train=train,
+                test=test,
+                horizon=self.horizon,
+                evaluation_window=self.evaluation_window,
+            )
+        )
+        return result.smape, result.seconds, result.error
 
     def run(
         self,
@@ -95,27 +107,83 @@ class BenchmarkRunner:
     ) -> BenchmarkResults:
         """Run every toolkit on every data set and collect the results."""
         results = BenchmarkResults(horizon=self.horizon)
+        tasks: list[ToolkitRunTask] = []
         for dataset_name, data in datasets.items():
             train, test = self.split(data)
             for toolkit_name, factory in toolkits.items():
-                error, seconds, failure = self.evaluate_toolkit(factory, train, test)
-                failed = bool(failure)
-                if (
-                    not failed
-                    and self.max_train_seconds is not None
-                    and seconds > self.max_train_seconds
-                ):
-                    failure = f"exceeded budget of {self.max_train_seconds}s"
-                results.add(
-                    ToolkitRun(
-                        toolkit=toolkit_name,
-                        dataset=dataset_name,
-                        smape=0.0 if failed else error,
-                        train_seconds=0.0 if failed else seconds,
-                        failed=failed,
-                        error=failure,
+                tasks.append(
+                    ToolkitRunTask(
+                        tag=(dataset_name, toolkit_name),
+                        factory=factory,
+                        train=train,
+                        test=test,
+                        horizon=self.horizon,
+                        evaluation_window=self.evaluation_window,
                     )
                 )
-                status = "FAILED" if failed else f"SMAPE={error:7.2f}"
-                self._log(f"{dataset_name:<28s} {toolkit_name:<18s} {status} ({seconds:6.2f}s)")
+
+        engine = get_executor(self.executor, self.n_jobs)
+        if isinstance(engine, SerialExecutor) and self.verbose:
+            # Keep the live per-cell log of the original sequential runner.
+            outcomes = []
+            for index, task in enumerate(tasks):
+                outcome = engine.map_tasks(
+                    run_toolkit_task, [task], timeout=self.max_train_seconds
+                )[0]
+                outcome.index = index
+                outcomes.append(outcome)
+                self._log_outcome(task, outcome)
+        else:
+            outcomes = engine.map_tasks(
+                run_toolkit_task, tasks, timeout=self.max_train_seconds
+            )
+            for task, outcome in zip(tasks, outcomes):
+                self._log_outcome(task, outcome)
+
+        for task, outcome in zip(tasks, outcomes):
+            results.add(self._to_run(task, outcome))
         return results
+
+    def _to_run(self, task: ToolkitRunTask, outcome) -> ToolkitRun:
+        """Fold one engine outcome into the paper's result conventions."""
+        dataset_name, toolkit_name = task.tag
+        budget = self.max_train_seconds
+        result = outcome.value
+        if result is None:
+            # The worker never returned: preempted over budget or crashed.
+            failed = True
+            smape_value, seconds = 0.0, outcome.seconds
+            over_budget = bool(outcome.timed_out)
+            failure = outcome.error or "execution engine returned no result"
+        else:
+            failed = bool(result.error)
+            smape_value, seconds = result.smape, result.seconds
+            failure = result.error
+            over_budget = bool(outcome.timed_out) or (
+                budget is not None and seconds > budget
+            )
+            if over_budget and not failure:
+                failure = f"exceeded budget of {budget}s"
+        return ToolkitRun(
+            toolkit=toolkit_name,
+            dataset=dataset_name,
+            smape=0.0 if failed else smape_value,
+            train_seconds=0.0 if failed else seconds,
+            failed=failed,
+            error=failure,
+            over_budget=over_budget,
+        )
+
+    def _log_outcome(self, task: ToolkitRunTask, outcome) -> None:
+        if not self.verbose:
+            return
+        run = self._to_run(task, outcome)
+        if run.failed:
+            status = "OVER-BUDGET" if run.over_budget else "FAILED"
+        else:
+            status = f"SMAPE={run.smape:7.2f}"
+            if run.over_budget:
+                status += " (over budget)"
+        self._log(
+            f"{run.dataset:<28s} {run.toolkit:<18s} {status} ({outcome.seconds:6.2f}s)"
+        )

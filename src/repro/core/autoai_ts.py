@@ -77,6 +77,15 @@ class AutoAITS(BaseForecaster):
         Clip forecasts at zero (useful for count-like data); off by default.
     verbose:
         Print progress messages (quality check, look-back, T-Daub, holdout).
+    n_jobs:
+        Number of pipeline evaluations T-Daub schedules concurrently (1 =
+        the paper's sequential algorithm).  ``n_jobs`` also sets the width
+        of T-Daub's acceleration waves, so two runs with the *same*
+        ``n_jobs`` rank identically on any backend; different ``n_jobs``
+        values explore slightly different allocation schedules.
+    executor:
+        Execution backend handed to T-Daub: ``None`` (auto), ``"serial"``,
+        ``"threads"``, ``"processes"`` or a ``repro.exec.BaseExecutor``.
     """
 
     def __init__(
@@ -93,6 +102,8 @@ class AutoAITS(BaseForecaster):
         positive_forecasts: bool = False,
         verbose: bool = False,
         random_state: int | None = 0,
+        n_jobs: int | None = None,
+        executor=None,
     ):
         self.prediction_horizon = prediction_horizon
         self.lookback_window = lookback_window
@@ -106,6 +117,8 @@ class AutoAITS(BaseForecaster):
         self.positive_forecasts = positive_forecasts
         self.verbose = verbose
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.executor = executor
 
     # -- orchestration ---------------------------------------------------------
     def fit(self, X, y=None, timestamps=None) -> "AutoAITS":
@@ -177,6 +190,8 @@ class AutoAITS(BaseForecaster):
             run_to_completion=self.run_to_completion,
             horizon=horizon,
             verbose=self.verbose,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
         )
         progress.report("t-daub", "ranking pipelines with reverse data allocation")
         tdaub.fit(train)

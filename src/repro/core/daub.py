@@ -32,6 +32,9 @@ class Daub(TDaub):
         horizon: int = 1,
         scorer=None,
         verbose: bool = False,
+        n_jobs: int | None = None,
+        executor=None,
+        memoize: bool = True,
     ):
         super().__init__(
             pipelines=pipelines,
@@ -45,6 +48,9 @@ class Daub(TDaub):
             allocation_direction="oldest_first",
             scorer=scorer,
             verbose=verbose,
+            n_jobs=n_jobs,
+            executor=executor,
+            memoize=memoize,
         )
 
     @classmethod
@@ -62,4 +68,7 @@ class Daub(TDaub):
             "horizon",
             "scorer",
             "verbose",
+            "n_jobs",
+            "executor",
+            "memoize",
         )

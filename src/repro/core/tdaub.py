@@ -8,19 +8,34 @@ lets only the most promising pipelines acquire geometrically growing
 allocations (priority-queue driven acceleration).  Finally the top
 ``run_to_completion`` pipelines are retrained on the full training split and
 re-scored to produce the final ranking.
+
+Every fit-and-score evaluation is an independent unit of work, so the
+algorithm is phrased as *batches* submitted to a pluggable execution engine
+(:mod:`repro.exec`): each fixed-allocation round, each acceleration wave and
+the final scoring phase fan out as :class:`~repro.exec.FitScoreTask` lists.
+With the default ``n_jobs=1`` the schedule is identical to the sequential
+paper algorithm; with ``n_jobs > 1`` up to ``n_jobs`` evaluations run
+concurrently while task indices keep heap ordering — and therefore the final
+ranking — deterministic regardless of worker completion order.  An
+:class:`~repro.exec.EvaluationCache` memoizes ``(pipeline parameters, data
+slice, horizon)`` so identical refits (e.g. the scoring-phase retrain of a
+pipeline that already reached the full allocation) are never recomputed.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .._validation import as_2d_array, check_positive_int
-from ..exceptions import InvalidParameterError, PipelineExecutionError
+from ..exceptions import InvalidParameterError
+from ..exec.cache import EvaluationCache
+from ..exec.executor import BaseExecutor, get_executor, resolve_n_jobs
+from ..exec.tasks import FitScoreResult, FitScoreTask, run_fit_score_task
 from ..stats.linear_model import ols_fit
 from .base import BaseEstimator, BaseForecaster, clone
 
@@ -88,11 +103,6 @@ class TDaubResult:
         return rows
 
 
-def _default_scorer(pipeline: BaseForecaster, test: np.ndarray) -> float:
-    """Score a fitted pipeline on held-out data (negative SMAPE; higher is better)."""
-    return float(pipeline.score(test, horizon=len(test)))
-
-
 class TDaub(BaseEstimator):
     """Pipeline ranking and selection by incremental reverse data allocation.
 
@@ -120,6 +130,20 @@ class TDaub(BaseEstimator):
     allocation_direction:
         ``"recent_first"`` (T-Daub's reverse allocation) or ``"oldest_first"``
         (the original Daub behaviour, kept for the ablation benchmark).
+    n_jobs:
+        Width of each evaluation batch *and* worker count of auto-created
+        executors.  The acceleration phase pops up to ``n_jobs`` pipelines
+        per wave, so two runs with equal ``n_jobs`` produce identical
+        allocation schedules (and rankings) on any backend.  Default 1:
+        the exact sequential schedule of the paper.
+    executor:
+        Execution backend: ``None`` (serial for ``n_jobs<=1``, processes
+        otherwise), an alias (``"serial"``, ``"threads"``, ``"processes"``)
+        or a :class:`~repro.exec.BaseExecutor` instance.
+    memoize:
+        Cache ``(pipeline params, slice, horizon) -> score`` within this fit
+        so identical re-evaluations (e.g. the scoring-phase retrain of a
+        fully allocated pipeline) are free.  On by default.
     """
 
     def __init__(
@@ -135,6 +159,9 @@ class TDaub(BaseEstimator):
         allocation_direction: str = "recent_first",
         scorer: Callable[[BaseForecaster, np.ndarray], float] | None = None,
         verbose: bool = False,
+        n_jobs: int | None = None,
+        executor: str | BaseExecutor | None = None,
+        memoize: bool = True,
     ):
         self.pipelines = list(pipelines)
         self.min_allocation_size = min_allocation_size
@@ -147,6 +174,9 @@ class TDaub(BaseEstimator):
         self.allocation_direction = allocation_direction
         self.scorer = scorer
         self.verbose = verbose
+        self.n_jobs = n_jobs
+        self.executor = executor
+        self.memoize = memoize
 
     # -- helpers -------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -164,32 +194,77 @@ class TDaub(BaseEstimator):
             return T1[len(T1) - allocation :]
         return T1[:allocation]
 
-    def _train_and_score(
+    def _evaluate_batch(
         self,
-        template: BaseForecaster,
-        evaluation: PipelineEvaluation,
-        train: np.ndarray,
-        test: np.ndarray,
-    ) -> float:
-        """Fit a clone of ``template`` on ``train`` and score it on ``test``."""
-        scorer = self.scorer or _default_scorer
-        start = time.perf_counter()
-        try:
-            candidate = clone(template)
-            if hasattr(candidate, "set_horizon"):
-                candidate.set_horizon(int(self.horizon))
-            elif hasattr(candidate, "horizon"):
-                candidate.horizon = int(self.horizon)
-            candidate.fit(train)
-            score = scorer(candidate, test)
-        except (PipelineExecutionError, Exception) as exc:  # noqa: BLE001
-            evaluation.failed = True
-            evaluation.failure_message = repr(exc)
-            score = -np.inf
-        evaluation.train_seconds += time.perf_counter() - start
-        evaluation.allocation_sizes.append(len(train))
-        evaluation.scores.append(float(score))
-        return float(score)
+        jobs: Sequence[tuple[str, BaseForecaster, np.ndarray, np.ndarray]],
+        evaluations: dict[str, PipelineEvaluation],
+    ) -> list[float]:
+        """Evaluate a batch of independent ``(name, template, train, test)`` jobs.
+
+        Cache hits are resolved immediately; only misses are submitted to the
+        execution engine.  Results are recorded into the evaluation history
+        in job order, so the caller's schedule stays deterministic no matter
+        how the backend interleaves the actual work.
+        """
+        results: dict[int, FitScoreResult] = {}
+        pending: list[tuple[int, object, FitScoreTask]] = []
+        for index, (name, template, train, test) in enumerate(jobs):
+            key = None
+            if self._cache is not None:
+                key = self._cache.make_key(template, train, test, self.horizon, self.scorer)
+                hit = self._cache.get(key)
+                if hit is not None:
+                    # The wall clock spent on a cache hit is ~0; keep the
+                    # per-pipeline timing honest by not re-charging it.
+                    results[index] = replace(hit, seconds=0.0)
+                    continue
+            pending.append(
+                (
+                    index,
+                    key,
+                    FitScoreTask(
+                        tag=index,
+                        template=template,
+                        train=train,
+                        test=test,
+                        horizon=int(self.horizon),
+                        scorer=self.scorer,
+                    ),
+                )
+            )
+
+        if pending:
+            outcomes = self._engine.map_tasks(run_fit_score_task, [task for _, _, task in pending])
+            for (index, key, task), outcome in zip(pending, outcomes):
+                result = outcome.value
+                if result is None:
+                    # Executor-level failure (worker crash / timeout): fold it
+                    # into the same -inf convention as an in-task exception,
+                    # but never cache it — these failures are transient and a
+                    # later identical evaluation deserves a fresh attempt.
+                    result = FitScoreResult(
+                        tag=index,
+                        score=-np.inf,
+                        seconds=outcome.seconds,
+                        n_train=int(len(task.train)),
+                        error=outcome.error or "execution engine returned no result",
+                    )
+                elif key is not None:
+                    self._cache.put(key, result)
+                results[index] = result
+
+        scores: list[float] = []
+        for index, (name, _, train, _) in enumerate(jobs):
+            result = results[index]
+            evaluation = evaluations[name]
+            if result.failed:
+                evaluation.failed = True
+                evaluation.failure_message = result.error
+            evaluation.train_seconds += result.seconds
+            evaluation.allocation_sizes.append(int(len(train)))
+            evaluation.scores.append(float(result.score))
+            scores.append(float(result.score))
+        return scores
 
     # -- main algorithm -----------------------------------------------------
     def fit(self, T, y=None) -> "TDaub":
@@ -203,6 +278,9 @@ class TDaub(BaseEstimator):
         check_positive_int(self.run_to_completion, "run_to_completion")
 
         start_time = time.perf_counter()
+        self._engine = get_executor(self.executor, self.n_jobs)
+        self._batch_size = max(1, resolve_n_jobs(self.n_jobs))
+        self._cache = EvaluationCache() if self.memoize else None
         T = as_2d_array(T)
         horizon = int(self.horizon)
 
@@ -231,6 +309,7 @@ class TDaub(BaseEstimator):
             name = getattr(pipeline, "name", None) or type(pipeline).__name__
             self._name_counts[name] = self._name_counts.get(name, 0) + 1
         names = [self._pipeline_name(p, i) for i, p in enumerate(self.pipelines)]
+        templates = dict(zip(names, self.pipelines))
 
         evaluations = {name: PipelineEvaluation(name=name) for name in names}
 
@@ -238,9 +317,11 @@ class TDaub(BaseEstimator):
         # everything to every pipeline and rank on the full data.
         if L <= min_allocation:
             self._log("Training set smaller than min_allocation_size; full evaluation.")
-            for name, pipeline in zip(names, self.pipelines):
-                self._train_and_score(pipeline, evaluations[name], T1, T2)
-                evaluations[name].final_score = evaluations[name].scores[-1]
+            scores = self._evaluate_batch(
+                [(name, templates[name], T1, T2) for name in names], evaluations
+            )
+            for name, score in zip(names, scores):
+                evaluations[name].final_score = score
             ranked = sorted(
                 names, key=lambda n: evaluations[n].final_score or -np.inf, reverse=True
             )
@@ -248,13 +329,16 @@ class TDaub(BaseEstimator):
             return self
 
         # -- 1. fixed allocation ------------------------------------------------
+        # Every round is one batch: all pipelines share the same slice and
+        # are independent of one another.
         num_fix_runs = max(int(cutoff / min_allocation), 1)
         for run_index in range(1, num_fix_runs + 1):
             allocation = min(min_allocation * run_index, L)
             self._log(f"Fixed allocation {run_index}/{num_fix_runs}: {allocation} samples")
             train = self._allocation_slice(T1, allocation)
-            for name, pipeline in zip(names, self.pipelines):
-                self._train_and_score(pipeline, evaluations[name], train, T2)
+            self._evaluate_batch(
+                [(name, templates[name], train, T2) for name in names], evaluations
+            )
             if allocation >= L:
                 break
 
@@ -262,48 +346,83 @@ class TDaub(BaseEstimator):
             evaluations[name].project(L)
 
         # -- 2. allocation acceleration (priority queue, geometric growth) ------
+        # Waves of up to ``n_jobs`` pipelines are popped from the heap and
+        # evaluated as one batch.  Heap entries carry the original submission
+        # order so tie-breaking — and with it the whole schedule — stays
+        # deterministic on every backend.  Pipelines whose projection is
+        # -inf (no finite score on any allocation: permanently broken) are
+        # dropped instead of wasting further full fit cycles.
         heap: list[tuple[float, int, str]] = []
         last_allocation = {name: evaluations[name].allocation_sizes[-1] for name in names}
         for order, name in enumerate(names):
-            heapq.heappush(heap, (-evaluations[name].projected_score, order, name))
-
-        templates = dict(zip(names, self.pipelines))
-        while heap:
-            neg_score, order, name = heapq.heappop(heap)
-            current = last_allocation[name]
-            if current >= L:
-                # This pipeline has already seen (almost) all data.
-                continue
-            next_allocation = int(
-                max(
-                    current + allocation_size,
-                    int(current * float(self.geo_increment_size)),
-                )
-            )
-            next_allocation = int(np.ceil(next_allocation / allocation_size) * allocation_size)
-            next_allocation = min(next_allocation, L)
-            self._log(f"Acceleration: {name} -> {next_allocation} samples")
-            train = self._allocation_slice(T1, next_allocation)
-            self._train_and_score(templates[name], evaluations[name], train, T2)
-            last_allocation[name] = next_allocation
-            evaluations[name].project(L)
-            if next_allocation < L:
+            if np.isfinite(evaluations[name].projected_score):
                 heapq.heappush(heap, (-evaluations[name].projected_score, order, name))
-            else:
-                # Pipeline reached the full length; stop accelerating once the
-                # top run_to_completion pipelines have reached it.
-                finished = sum(1 for allocation in last_allocation.values() if allocation >= L)
-                if finished >= int(self.run_to_completion):
-                    break
+
+        while heap:
+            wave: list[tuple[int, str, int]] = []
+            while heap and len(wave) < self._batch_size:
+                _, order, name = heapq.heappop(heap)
+                current = last_allocation[name]
+                if current >= L:
+                    # This pipeline has already seen (almost) all data.
+                    continue
+                next_allocation = int(
+                    max(
+                        current + allocation_size,
+                        int(current * float(self.geo_increment_size)),
+                    )
+                )
+                next_allocation = int(
+                    np.ceil(next_allocation / allocation_size) * allocation_size
+                )
+                next_allocation = min(next_allocation, L)
+                wave.append((order, name, next_allocation))
+            if not wave:
+                break
+            self._log(
+                "Acceleration wave: "
+                + ", ".join(f"{name} -> {alloc}" for _, name, alloc in wave)
+            )
+            self._evaluate_batch(
+                [
+                    (name, templates[name], self._allocation_slice(T1, alloc), T2)
+                    for _, name, alloc in wave
+                ],
+                evaluations,
+            )
+            stop = False
+            for order, name, alloc in wave:
+                last_allocation[name] = alloc
+                evaluations[name].project(L)
+                if alloc < L:
+                    if np.isfinite(evaluations[name].projected_score):
+                        heapq.heappush(
+                            heap, (-evaluations[name].projected_score, order, name)
+                        )
+                else:
+                    # Pipeline reached the full length; stop accelerating once
+                    # the top run_to_completion pipelines have reached it.
+                    finished = sum(
+                        1 for allocation in last_allocation.values() if allocation >= L
+                    )
+                    if finished >= int(self.run_to_completion):
+                        stop = True
+            if stop:
+                break
 
         # -- 3. scoring: retrain the top pipelines on all of T1 ------------------
+        # One final batch; a pipeline that already trained on the full split
+        # during fixed allocation or acceleration is a cache hit here.
         provisional = sorted(
             names, key=lambda n: evaluations[n].projected_score, reverse=True
         )
         n_final = min(int(self.run_to_completion), len(names))
-        for name in provisional[:n_final]:
-            self._log(f"Scoring phase: retraining {name} on full training split")
-            score = self._train_and_score(templates[name], evaluations[name], T1, T2)
+        final_names = provisional[:n_final]
+        self._log("Scoring phase: retraining " + ", ".join(final_names) + " on full split")
+        final_scores = self._evaluate_batch(
+            [(name, templates[name], T1, T2) for name in final_names], evaluations
+        )
+        for name, score in zip(final_names, final_scores):
             evaluations[name].final_score = score
 
         def _ranking_key(name: str) -> float:
@@ -348,6 +467,7 @@ class TDaub(BaseEstimator):
         self.ranked_names_ = ranked
         self.evaluations_ = evaluations
         self.best_pipeline_ = best_pipeline
+        self.cache_stats_ = self._cache.stats if self._cache is not None else None
         self.result_ = TDaubResult(
             ranked_names=ranked,
             evaluations=evaluations,

@@ -1,0 +1,53 @@
+"""Execution engine: pluggable parallel backends plus evaluation memoization.
+
+Everything in the reproduction that evaluates many independent units of work
+— T-Daub's allocation rounds, the acceleration waves, the run-to-completion
+scoring phase and the full benchmark matrix — funnels through this package:
+
+- :mod:`repro.exec.executor` — ``SerialExecutor`` / ``ThreadExecutor`` /
+  ``ProcessExecutor`` behind one order-preserving ``map_tasks`` interface,
+  with real per-task timeout enforcement in the process backend.
+- :mod:`repro.exec.cache` — :class:`EvaluationCache`, memoizing
+  ``(pipeline params, data fingerprints, horizon) -> score`` so identical
+  refits are never recomputed.
+- :mod:`repro.exec.tasks` — picklable task payloads and runner functions
+  for pipeline evaluations and benchmark cells.
+"""
+
+from .cache import CacheStats, EvaluationCache, estimator_fingerprint
+from .executor import (
+    BaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskOutcome,
+    ThreadExecutor,
+    get_executor,
+    resolve_n_jobs,
+)
+from .tasks import (
+    FitScoreResult,
+    FitScoreTask,
+    ToolkitRunResult,
+    ToolkitRunTask,
+    run_fit_score_task,
+    run_toolkit_task,
+)
+
+__all__ = [
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskOutcome",
+    "get_executor",
+    "resolve_n_jobs",
+    "EvaluationCache",
+    "CacheStats",
+    "estimator_fingerprint",
+    "FitScoreTask",
+    "FitScoreResult",
+    "run_fit_score_task",
+    "ToolkitRunTask",
+    "ToolkitRunResult",
+    "run_toolkit_task",
+]

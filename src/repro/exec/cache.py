@@ -1,0 +1,161 @@
+"""Memoization of pipeline evaluations.
+
+T-Daub repeatedly fits clones of the same pipeline template on slices of the
+same training array: the last fixed-allocation round, the final acceleration
+step and the run-to-completion scoring phase all frequently land on the
+*identical* ``(pipeline parameters, training slice, test slice, horizon)``
+combination.  Because every evaluation starts from an unfitted clone, the
+result is a pure function of that combination — so it can be cached.
+
+:class:`EvaluationCache` keys entries on a structural fingerprint of the
+pipeline's hyper-parameters plus content fingerprints (BLAKE2 digests) of
+the training and test slices, which makes two different ``numpy`` views with
+equal content hit the same entry while any change in data, parameters or
+horizon misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["EvaluationCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _array_fingerprint(values: np.ndarray) -> tuple:
+    """Content fingerprint of an array: shape, dtype and a BLAKE2 digest."""
+    values = np.ascontiguousarray(values)
+    digest = hashlib.blake2b(values.tobytes(), digest_size=16).hexdigest()
+    return ("array", values.shape, values.dtype.str, digest)
+
+
+def _value_fingerprint(value: Any) -> Hashable:
+    """Recursively fingerprint a hyper-parameter value."""
+    if isinstance(value, np.ndarray):
+        return _array_fingerprint(value)
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__, tuple(_value_fingerprint(item) for item in value))
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _value_fingerprint(v)) for k, v in value.items()))
+    if hasattr(value, "get_params") and callable(value.get_params):
+        return estimator_fingerprint(value)
+    if callable(value):
+        # Callables (custom scorers) have no stable structural identity; the
+        # object id keeps distinct callables distinct within one process.
+        return ("callable", getattr(value, "__qualname__", repr(value)), id(value))
+    if isinstance(value, (str, int, float, bool, bytes, type(None))):
+        return (type(value).__name__, value)
+    return ("repr", repr(value))
+
+
+def estimator_fingerprint(estimator: Any) -> Hashable:
+    """Structural fingerprint of an estimator: class plus hyper-parameters.
+
+    Two unfitted clones of the same template fingerprint identically, which
+    is exactly the property the cache needs.
+    """
+    params = estimator.get_params(deep=False)
+    return (
+        type(estimator).__module__,
+        type(estimator).__qualname__,
+        tuple((name, _value_fingerprint(params[name])) for name in sorted(params)),
+    )
+
+
+class EvaluationCache:
+    """Thread-safe LRU cache of ``(pipeline, data, horizon) -> result``.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on retained entries; the least recently used entry is
+        evicted first.  ``None`` means unbounded (the default — T-Daub runs
+        produce at most a few hundred entries).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be a positive integer or None.")
+        self.max_entries = max_entries
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -- key construction ------------------------------------------------------
+    def make_key(
+        self,
+        template: Any,
+        train: np.ndarray,
+        test: np.ndarray,
+        horizon: int,
+        scorer: Any = None,
+    ) -> Hashable:
+        """Build the cache key for one fit-and-score evaluation."""
+        return (
+            estimator_fingerprint(template),
+            _array_fingerprint(np.asarray(train, dtype=float)),
+            _array_fingerprint(np.asarray(test, dtype=float)),
+            int(horizon),
+            _value_fingerprint(scorer) if scorer is not None else None,
+        )
+
+    # -- store operations ------------------------------------------------------
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value for ``key`` or ``None`` on a miss."""
+        with self._lock:
+            if key in self._store:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) one entry, evicting the LRU entry if full."""
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if self.max_entries is not None and len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"EvaluationCache(size={stats.size}, hits={stats.hits}, "
+            f"misses={stats.misses})"
+        )

@@ -1,0 +1,147 @@
+"""Task payloads and runners executed by the execution engine.
+
+Two task shapes cover the hot paths of the reproduction:
+
+``FitScoreTask`` / :func:`run_fit_score_task`
+    One T-Daub evaluation: clone an unfitted pipeline template, fit it on a
+    training slice and score it on the internal test split.
+``ToolkitRunTask`` / :func:`run_toolkit_task`
+    One benchmark-matrix cell: build a toolkit from its factory, fit it on
+    the shared training split and SMAPE-score its forecast.
+
+The runner functions are module-level (picklable) and all imports from the
+core package happen lazily inside them so ``repro.exec`` never imports
+``repro.core`` at module load time (``repro.core.tdaub`` imports this
+package, and a top-level back-import would create a cycle).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "FitScoreTask",
+    "FitScoreResult",
+    "run_fit_score_task",
+    "ToolkitRunTask",
+    "ToolkitRunResult",
+    "run_toolkit_task",
+]
+
+
+def _apply_horizon(model: Any, horizon: int) -> None:
+    """Propagate the forecasting horizon to a freshly created model."""
+    if hasattr(model, "set_horizon"):
+        model.set_horizon(int(horizon))
+    elif hasattr(model, "horizon"):
+        model.horizon = int(horizon)
+
+
+@dataclass
+class FitScoreTask:
+    """One independent (pipeline template, allocation slice) evaluation."""
+
+    tag: Any
+    template: Any
+    train: np.ndarray
+    test: np.ndarray
+    horizon: int
+    scorer: Callable[[Any, np.ndarray], float] | None = None
+
+
+@dataclass
+class FitScoreResult:
+    """Outcome of one :class:`FitScoreTask`."""
+
+    tag: Any
+    score: float
+    seconds: float
+    n_train: int
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error)
+
+
+def run_fit_score_task(task: FitScoreTask) -> FitScoreResult:
+    """Fit a clone of the task's template and score it on the test slice.
+
+    Failures never propagate: a broken pipeline yields ``score=-inf`` with
+    the exception recorded, mirroring T-Daub's keep-going semantics.
+    """
+    from ..core.base import clone
+
+    start = time.perf_counter()
+    try:
+        candidate = clone(task.template)
+        _apply_horizon(candidate, task.horizon)
+        candidate.fit(task.train)
+        if task.scorer is not None:
+            score = float(task.scorer(candidate, task.test))
+        else:
+            score = float(candidate.score(task.test, horizon=len(task.test)))
+        error = ""
+    except Exception as exc:  # noqa: BLE001 - failures become -inf scores
+        score = float("-inf")
+        error = repr(exc)
+    return FitScoreResult(
+        tag=task.tag,
+        score=score,
+        seconds=time.perf_counter() - start,
+        n_train=int(len(task.train)),
+        error=error,
+    )
+
+
+@dataclass
+class ToolkitRunTask:
+    """One (dataset, toolkit) cell of the benchmark matrix."""
+
+    tag: Any
+    factory: Callable[[int], Any]
+    train: np.ndarray
+    test: np.ndarray
+    horizon: int
+    evaluation_window: int | None = None
+
+
+@dataclass
+class ToolkitRunResult:
+    """Outcome of one :class:`ToolkitRunTask` (paper's "smape (seconds)")."""
+
+    tag: Any
+    smape: float
+    seconds: float
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error)
+
+
+def run_toolkit_task(task: ToolkitRunTask) -> ToolkitRunResult:
+    """Build, fit and SMAPE-score one toolkit on the shared split."""
+    from ..metrics.errors import smape
+
+    window = task.evaluation_window or task.horizon
+    window = min(window, len(task.test))
+    start = time.perf_counter()
+    try:
+        model = task.factory(task.horizon)
+        model.fit(task.train)
+        elapsed = time.perf_counter() - start
+        forecast = np.asarray(model.predict(window), dtype=float)
+        if forecast.ndim == 1:
+            forecast = forecast.reshape(-1, 1)
+        if not np.all(np.isfinite(forecast)):
+            raise ValueError("forecast contains non-finite values")
+        error_value = smape(task.test[:window], forecast[:window])
+        return ToolkitRunResult(tag=task.tag, smape=float(error_value), seconds=float(elapsed))
+    except Exception as exc:  # noqa: BLE001 - failures become "0 (0)" entries
+        elapsed = time.perf_counter() - start
+        return ToolkitRunResult(tag=task.tag, smape=0.0, seconds=float(elapsed), error=repr(exc))

@@ -1,0 +1,324 @@
+"""Tests for the execution engine: backends, memoization and parallel T-Daub."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.benchmarking import BenchmarkRunner, render_detail_table
+from repro.core import TDaub
+from repro.exceptions import InvalidParameterError
+from repro.exec import (
+    EvaluationCache,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_n_jobs,
+)
+from repro.forecasters.holtwinters import HoltWintersForecaster
+from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
+from repro.forecasters.theta import ThetaForecaster
+
+
+def _square(x):
+    return x * x
+
+
+def _square_or_fail(x):
+    if x == 2:
+        raise ValueError("boom")
+    return x * x
+
+
+def _slow_task(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+ALL_EXECUTORS = [SerialExecutor(), ThreadExecutor(n_jobs=2), ProcessExecutor(n_jobs=2)]
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_preserves_task_order(self, executor):
+        outcomes = executor.map_tasks(_square, [3, 1, 4, 1, 5])
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert all(o.ok for o in outcomes)
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_task_errors_are_captured(self, executor):
+        outcomes = executor.map_tasks(_square_or_fail, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, None, 9]
+        assert not outcomes[1].ok
+        assert "boom" in outcomes[1].error
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_empty_task_list(self, executor):
+        assert executor.map_tasks(_square, []) == []
+
+    def test_serial_timeout_is_soft(self):
+        outcomes = SerialExecutor().map_tasks(_slow_task, [0.05], timeout=0.01)
+        assert outcomes[0].timed_out
+        assert outcomes[0].value == 0.05  # result kept, overrun only flagged
+
+    def test_process_timeout_is_enforced(self):
+        start = time.perf_counter()
+        outcomes = ProcessExecutor(n_jobs=2).map_tasks(
+            _slow_task, [10.0, 0.01], timeout=0.3
+        )
+        wall = time.perf_counter() - start
+        assert wall < 5.0  # the 10s task was terminated, not awaited
+        assert outcomes[0].timed_out and outcomes[0].value is None
+        assert "budget" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].value == 0.01
+
+    def test_process_executor_runs_closures(self):
+        # Under fork, closures cross the process boundary without pickling;
+        # under spawn the executor falls back to inline execution.
+        offset = 7
+        outcomes = ProcessExecutor(n_jobs=2).map_tasks(lambda x: x + offset, [1, 2])
+        assert [o.value for o in outcomes] == [8, 9]
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(0) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+
+    def test_get_executor_aliases(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(None, n_jobs=4), ProcessExecutor)
+        assert isinstance(get_executor("serial", n_jobs=4), SerialExecutor)
+        assert isinstance(get_executor("threads", n_jobs=2), ThreadExecutor)
+        assert isinstance(get_executor("processes", n_jobs=2), ProcessExecutor)
+        instance = ThreadExecutor(n_jobs=2)
+        assert get_executor(instance) is instance
+        with pytest.raises(InvalidParameterError):
+            get_executor("gpu")
+
+
+class TestEvaluationCache:
+    def _key(self, cache, horizon=6, scale=1.0, n=20):
+        template = DriftForecaster(horizon=horizon)
+        train = np.arange(n, dtype=float).reshape(-1, 1) * scale
+        test = np.arange(6, dtype=float).reshape(-1, 1)
+        return cache.make_key(template, train, test, horizon)
+
+    def test_hit_after_put(self):
+        cache = EvaluationCache()
+        key = self._key(cache)
+        assert cache.get(key) is None  # miss
+        cache.put(key, "value")
+        assert cache.get(self._key(cache)) == "value"  # structurally equal key hits
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+
+    def test_different_horizon_misses(self):
+        cache = EvaluationCache()
+        cache.put(self._key(cache, horizon=6), "h6")
+        assert cache.get(self._key(cache, horizon=12)) is None
+
+    def test_different_data_misses(self):
+        cache = EvaluationCache()
+        cache.put(self._key(cache, scale=1.0), "a")
+        assert cache.get(self._key(cache, scale=2.0)) is None
+        assert cache.get(self._key(cache, n=21)) is None
+
+    def test_different_params_miss(self):
+        cache = EvaluationCache()
+        train = np.arange(20, dtype=float).reshape(-1, 1)
+        test = np.arange(6, dtype=float).reshape(-1, 1)
+        cache.put(cache.make_key(DriftForecaster(horizon=6), train, test, 6), "drift")
+        assert cache.get(cache.make_key(ZeroModelForecaster(horizon=6), train, test, 6)) is None
+
+    def test_equal_content_views_hit(self):
+        cache = EvaluationCache()
+        data = np.arange(40, dtype=float).reshape(-1, 1)
+        template = DriftForecaster(horizon=4)
+        test = np.arange(4, dtype=float).reshape(-1, 1)
+        cache.put(cache.make_key(template, data[10:30], test, 4), "slice")
+        copied = data[10:30].copy()
+        assert cache.get(cache.make_key(template, copied, test, 4)) == "slice"
+
+    def test_lru_eviction(self):
+        cache = EvaluationCache(max_entries=2)
+        keys = [self._key(cache, n=n) for n in (10, 11, 12)]
+        cache.put(keys[0], 0)
+        cache.put(keys[1], 1)
+        assert cache.get(keys[0]) == 0  # refresh key 0; key 1 is now LRU
+        cache.put(keys[2], 2)
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == 0 and cache.get(keys[2]) == 2
+
+    def test_clear(self):
+        cache = EvaluationCache()
+        cache.put(self._key(cache), "x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+def _candidate_pipelines():
+    return [
+        ZeroModelForecaster(horizon=12),
+        DriftForecaster(horizon=12),
+        HoltWintersForecaster(seasonal="additive", seasonal_period=12, horizon=12),
+        ThetaForecaster(horizon=12),
+    ]
+
+
+def _fixed_seed_series():
+    t = np.arange(300.0)
+    noise = np.random.default_rng(7).normal(0, 1.0, 300)
+    return 50.0 + 0.3 * t + 10.0 * np.sin(2 * np.pi * t / 12.0) + noise
+
+
+class TestParallelTDaub:
+    def test_parallel_matches_serial_exactly(self):
+        """Same ranking AND same per-pipeline score histories on every backend."""
+        series = _fixed_seed_series()
+        reference = None
+        for executor in ("serial", "threads", "processes"):
+            selector = TDaub(
+                pipelines=_candidate_pipelines(),
+                horizon=12,
+                run_to_completion=2,
+                n_jobs=2,
+                executor=executor,
+            ).fit(series)
+            current = (
+                selector.ranked_names_,
+                {name: e.scores for name, e in selector.evaluations_.items()},
+                {name: e.final_score for name, e in selector.evaluations_.items()},
+            )
+            if reference is None:
+                reference = current
+            else:
+                assert current == reference, f"{executor} diverged from serial"
+
+    def test_scoring_phase_reuses_cached_full_fit(self):
+        # Fixed allocation reaches the full training split (L=240 after the
+        # 4th round of 60), so the scoring-phase retrain lands on a slice
+        # already evaluated -> guaranteed cache hit.
+        series = _fixed_seed_series()
+        selector = TDaub(
+            pipelines=_candidate_pipelines(), horizon=12, min_allocation_size=60
+        ).fit(series)
+        assert selector.cache_stats_ is not None
+        assert selector.cache_stats_.hits >= 1
+
+    def test_memoize_off_disables_cache(self):
+        series = _fixed_seed_series()
+        selector = TDaub(
+            pipelines=_candidate_pipelines()[:2], horizon=12, memoize=False
+        ).fit(series)
+        assert selector.cache_stats_ is None
+
+    def test_permanently_failed_pipeline_not_reaccelerated(self):
+        class _Broken(ZeroModelForecaster):
+            def fit(self, X, y=None):
+                raise RuntimeError("always fails")
+
+        series = _fixed_seed_series()
+        selector = TDaub(
+            pipelines=[_Broken(horizon=6), ZeroModelForecaster(horizon=6)],
+            horizon=6,
+            min_allocation_size=30,
+        ).fit(series)
+        broken = selector.evaluations_["_Broken"]
+        assert broken.failed
+        # The broken pipeline is evaluated during fixed allocation (and the
+        # scoring phase at most), but never wastes acceleration fit cycles:
+        # its allocations stay within the fixed-phase schedule.
+        working = selector.evaluations_["ZeroModelForecaster"]
+        assert max(broken.allocation_sizes) <= max(working.allocation_sizes)
+        assert selector.best_pipeline_name_ == "ZeroModelForecaster"
+
+
+def _toy_datasets():
+    t = np.arange(120.0)
+    return {
+        "trend": 10.0 + 0.5 * t,
+        "flat": np.full(120, 30.0) + np.sin(t / 9.0),
+    }
+
+
+def _toy_toolkits():
+    return {
+        "Zero": lambda horizon: ZeroModelForecaster(horizon=horizon),
+        "Drift": lambda horizon: DriftForecaster(horizon=horizon),
+    }
+
+
+class _SleepyForecaster(ZeroModelForecaster):
+    def fit(self, X, y=None):
+        time.sleep(0.2)
+        return super().fit(X, y)
+
+
+class TestParallelBenchmarkRunner:
+    def test_parallel_matrix_matches_serial(self):
+        serial = BenchmarkRunner(horizon=6).run(_toy_datasets(), _toy_toolkits())
+        parallel = BenchmarkRunner(horizon=6, n_jobs=2, executor="processes").run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert [(r.toolkit, r.dataset) for r in parallel.runs] == [
+            (r.toolkit, r.dataset) for r in serial.runs
+        ]
+        for serial_run, parallel_run in zip(serial.runs, parallel.runs):
+            assert parallel_run.smape == pytest.approx(serial_run.smape)
+            assert parallel_run.failed == serial_run.failed
+
+    def test_soft_budget_keeps_result_and_sets_over_budget(self):
+        runner = BenchmarkRunner(horizon=4, max_train_seconds=0.05)
+        results = runner.run(
+            {"flat": np.arange(60.0)},
+            {"Sleepy": lambda h: _SleepyForecaster(horizon=h)},
+        )
+        run = results.runs[0]
+        assert not run.failed  # the run completed and is kept
+        assert run.over_budget
+        assert run.train_seconds > 0.05
+        assert "budget" in run.error
+        assert run.table_cell.endswith("*")
+
+    def test_process_budget_preempts_run(self):
+        runner = BenchmarkRunner(
+            horizon=4, max_train_seconds=0.3, n_jobs=2, executor="processes"
+        )
+        start = time.perf_counter()
+        results = runner.run(
+            {"flat": np.arange(60.0)},
+            {
+                "Stuck": lambda h: _SleepyForecaster(horizon=h).set_params(),  # sleeps 0.2s < budget
+                "Forever": _forever_factory,
+            },
+        )
+        wall = time.perf_counter() - start
+        assert wall < 10.0
+        stuck = results.run_for("Stuck", "flat")
+        forever = results.run_for("Forever", "flat")
+        assert not stuck.failed and not stuck.over_budget
+        assert forever.failed and forever.over_budget
+        assert forever.table_cell == "0 (0)*"
+
+    def test_over_budget_footnote_rendered(self):
+        runner = BenchmarkRunner(horizon=4, max_train_seconds=0.05)
+        results = runner.run(
+            {"flat": np.arange(60.0)},
+            {"Sleepy": lambda h: _SleepyForecaster(horizon=h)},
+        )
+        table = render_detail_table(results, "Table B")
+        assert "* exceeded the per-run training-time budget" in table
+
+
+class _ForeverForecaster(ZeroModelForecaster):
+    def fit(self, X, y=None):
+        time.sleep(60.0)
+        return super().fit(X, y)
+
+
+def _forever_factory(horizon):
+    return _ForeverForecaster(horizon=horizon)
