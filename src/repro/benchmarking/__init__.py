@@ -18,6 +18,7 @@ from .experiment import (
     profile_univariate_datasets,
     sota_toolkit_factories,
 )
+from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, suite_fingerprint
 from .results import BenchmarkResults, ToolkitRun
 from .runner import BenchmarkRunner
 from .reporting import (
@@ -31,6 +32,9 @@ __all__ = [
     "BenchmarkRunner",
     "BenchmarkResults",
     "ToolkitRun",
+    "RunManifest",
+    "suite_fingerprint",
+    "MANIFEST_SCHEMA_VERSION",
     "BenchmarkProfile",
     "FAST_PROFILE",
     "FULL_PROFILE",

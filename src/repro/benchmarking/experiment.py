@@ -147,11 +147,16 @@ def autoai_toolkit_factories(
     run_to_completion: int = 1,
     n_jobs: int | None = None,
     executor=None,
+    cache_dir: str | None = None,
+    budget: float | None = None,
 ) -> Dict[str, ToolkitFactory]:
     """Factory for AutoAI-TS itself (10 internal pipelines, zero-conf).
 
     ``n_jobs``/``executor`` are forwarded to T-Daub so the inner pipeline
-    ranking can itself run parallel inside one benchmark cell.
+    ranking can itself run parallel inside one benchmark cell;
+    ``cache_dir`` points that ranking at a persistent evaluation store
+    shared across cells and runs, and ``budget`` bounds each cell's
+    ranking phase in wall-clock seconds on every backend.
     """
 
     def make(horizon: int) -> AutoAITS:
@@ -161,6 +166,8 @@ def autoai_toolkit_factories(
             holdout_fraction=0.2,
             n_jobs=n_jobs,
             executor=executor,
+            cache_dir=cache_dir,
+            budget=budget,
         )
 
     return {"AutoAI-TS": make}

@@ -1,0 +1,157 @@
+"""Run manifests: crash-safe records of completed benchmark-matrix cells.
+
+A benchmark run over a large suite can take hours; losing the whole matrix
+to one interruption (preempted node, ctrl-C, crashed toolkit taking the
+process down) forces a full re-pay on the next invocation.  The manifest
+makes runs **resumable**: :class:`~repro.benchmarking.runner.BenchmarkRunner`
+records every finished ``(dataset, toolkit)`` cell into a JSON manifest as
+the matrix progresses, and a re-invocation with the *same suite* skips the
+finished cells and merges their recorded results.
+
+"Same suite" is established by a **suite fingerprint** — a digest of the
+runner's split parameters plus the content fingerprints of every data set
+and the names of every toolkit.  A manifest whose fingerprint does not
+match the current invocation is stale (different data, horizon or toolkit
+set) and is discarded rather than merged, so resumed summaries can never
+mix results from two different experiments.
+
+Writes go through the same atomic write-then-rename protocol as the
+evaluation store, so a manifest read after an interruption is always a
+valid prefix of the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..exec.cache import _array_fingerprint
+from ..exec.store import atomic_write_text
+from .results import ToolkitRun
+
+__all__ = ["RunManifest", "suite_fingerprint", "MANIFEST_SCHEMA_VERSION"]
+
+#: Bump when the manifest layout or the cell record fields change
+#: incompatibly; old manifests are then discarded instead of misread.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def suite_fingerprint(
+    datasets: Mapping[str, np.ndarray],
+    toolkits: Mapping[str, Any],
+    horizon: int,
+    train_fraction: float,
+    evaluation_window: int | None,
+    max_train_seconds: float | None = None,
+) -> str:
+    """Content fingerprint of one benchmark suite.
+
+    Covers everything that determines a cell's result: the split knobs, the
+    per-run training budget (a raised budget must re-measure cells the old
+    budget preempted), the data itself (content digests, so a regenerated
+    but identical suite still matches) and the toolkit names.  Toolkit
+    *implementations* are not fingerprinted — rerunning a suite after a
+    code change reuses recorded cells, exactly like the evaluation store
+    reuses pipeline fits; delete the manifest to force a re-measure.
+    """
+    spec = (
+        "suite",
+        MANIFEST_SCHEMA_VERSION,
+        int(horizon),
+        float(train_fraction),
+        None if evaluation_window is None else int(evaluation_window),
+        None if max_train_seconds is None else float(max_train_seconds),
+        tuple(
+            (name, _array_fingerprint(np.asarray(data, dtype=float)))
+            for name, data in sorted(datasets.items())
+        ),
+        tuple(sorted(toolkits)),
+    )
+    return hashlib.blake2b(repr(spec).encode("utf-8"), digest_size=20).hexdigest()
+
+
+class RunManifest:
+    """Completed-cell ledger of one benchmark run, persisted as JSON.
+
+    Parameters
+    ----------
+    path:
+        Manifest file location.
+    fingerprint:
+        Suite fingerprint of the current invocation; loaded cells are only
+        trusted when the stored fingerprint matches.
+    """
+
+    def __init__(self, path: str | os.PathLike, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._cells: dict[tuple[str, str], ToolkitRun] = {}
+        self.resumed = False
+
+    # -- loading ---------------------------------------------------------------
+    def load(self) -> bool:
+        """Merge cells recorded by a previous run of the same suite.
+
+        Returns True when an existing, fingerprint-matching manifest was
+        merged.  A corrupt or mismatching manifest is ignored (and will be
+        overwritten on the next flush) — never raised.
+        """
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("manifest is not an object")
+            if record.get("schema") != MANIFEST_SCHEMA_VERSION:
+                return False
+            if record.get("fingerprint") != self.fingerprint:
+                return False
+            cells = record.get("cells", [])
+        except (OSError, ValueError, TypeError):
+            return False
+        for payload in cells:
+            try:
+                run = ToolkitRun(**payload)
+            except TypeError:
+                continue
+            run.from_cache = True
+            self._cells[(run.dataset, run.toolkit)] = run
+        self.resumed = bool(self._cells)
+        return self.resumed
+
+    # -- cell access -----------------------------------------------------------
+    def get(self, dataset: str, toolkit: str) -> ToolkitRun | None:
+        return self._cells.get((dataset, toolkit))
+
+    def record(self, run: ToolkitRun) -> None:
+        """Remember one finished cell (call :meth:`flush` to persist)."""
+        self._cells[(run.dataset, run.toolkit)] = run
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- persistence -----------------------------------------------------------
+    def flush(self) -> None:
+        """Atomically write the manifest with every cell recorded so far."""
+        cells = []
+        for run in self._cells.values():
+            payload = dataclasses.asdict(run)
+            # Cache provenance is per-invocation state, not a suite fact.
+            payload["from_cache"] = False
+            cells.append(payload)
+        record = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "cells": cells,
+        }
+        atomic_write_text(self.path, json.dumps(record, indent=1))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest(path={str(self.path)!r}, cells={len(self._cells)}, "
+            f"resumed={self.resumed})"
+        )

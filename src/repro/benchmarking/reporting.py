@@ -56,9 +56,17 @@ def render_detail_table(
             f"{index:>5d}  {dataset:<{name_width}s}"
             + "".join(f"{cell:>{column_width}s}" for cell in cells)
         )
+    footnotes = []
     if any(run.over_budget for run in results.runs):
+        footnotes.append("* exceeded the per-run training-time budget")
+    cached = results.from_cache_count()
+    if cached:
+        footnotes.append(
+            f"† served from the run manifest ({cached}/{len(results.runs)} cells resumed)"
+        )
+    if footnotes:
         lines.append("")
-        lines.append("* exceeded the per-run training-time budget")
+        lines.extend(footnotes)
     return "\n".join(lines)
 
 

@@ -20,7 +20,10 @@ class ToolkitRun:
     are stored as 0 and the run is excluded from rankings.  ``over_budget``
     marks runs that exceeded the runner's per-run training budget: either
     preempted (process backend — also ``failed``) or kept but flagged
-    (serial/thread backends, which cannot preempt Python).
+    (serial/thread backends, which cannot preempt Python).  ``from_cache``
+    marks cells that were not computed by this invocation but merged from a
+    previous run's manifest (resume) — the metrics are identical to the
+    original run's, only the provenance differs.
     """
 
     toolkit: str
@@ -30,15 +33,17 @@ class ToolkitRun:
     failed: bool = False
     error: str = ""
     over_budget: bool = False
+    from_cache: bool = False
 
     @property
     def table_cell(self) -> str:
         """Cell text in the Tables 4/5/6 format: ``smape (seconds)``.
 
-        Over-budget runs carry a ``*`` marker; the detail-table renderer
-        prints the matching footnote.
+        Over-budget runs carry a ``*`` marker and manifest-resumed cells a
+        ``†`` marker; the detail-table renderer prints the matching
+        footnotes.
         """
-        marker = "*" if self.over_budget else ""
+        marker = ("*" if self.over_budget else "") + ("†" if self.from_cache else "")
         if self.failed:
             return f"0 (0){marker}"
         return f"{self.smape:.2f} ({self.train_seconds:.2f}){marker}"
@@ -116,3 +121,7 @@ class BenchmarkResults:
 
     def failure_count(self, toolkit: str) -> int:
         return sum(1 for run in self.runs if run.toolkit == toolkit and run.failed)
+
+    def from_cache_count(self) -> int:
+        """Number of cells merged from a previous run's manifest."""
+        return sum(1 for run in self.runs if run.from_cache)

@@ -1,4 +1,4 @@
-"""Benchmark runner: shared splits, timing, failure handling.
+"""Benchmark runner: shared splits, timing, failure handling, resume.
 
 "The benchmarking mechanism ... enables us to run experiments both on our
 system, i.e., AutoAI-TS as well as on the 10 SOTA frameworks with the same
@@ -11,18 +11,26 @@ is *enforced*: a toolkit that overruns ``max_train_seconds`` is terminated
 and recorded as an over-budget failure.  The serial and thread backends
 cannot preempt Python, so there the budget stays soft — the run is kept but
 flagged ``over_budget`` so reports can call it out.
+
+With a ``manifest_path`` the run is **resumable**: finished cells are
+recorded into a :class:`~repro.benchmarking.manifest.RunManifest` as the
+matrix progresses, and a re-invocation with the same suite merges the
+recorded cells (marked ``from_cache``) instead of recomputing them.  An
+interrupted run therefore resumes from its last checkpoint and produces the
+same summary tables as an uninterrupted one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from .._validation import as_2d_array, check_fraction, check_horizon
 from ..core.base import BaseForecaster
-from ..exec.executor import BaseExecutor, SerialExecutor, get_executor
+from ..exec.executor import BaseExecutor, SerialExecutor, get_executor, resolve_n_jobs
 from ..exec.tasks import ToolkitRunTask, run_toolkit_task
+from .manifest import RunManifest, suite_fingerprint
 from .results import BenchmarkResults, ToolkitRun
 
 __all__ = ["BenchmarkRunner"]
@@ -51,6 +59,12 @@ class BenchmarkRunner:
         Execution backend: ``None`` (serial for ``n_jobs<=1``, processes
         otherwise), ``"serial"``, ``"threads"``, ``"processes"`` or a
         :class:`~repro.exec.BaseExecutor` instance.
+    manifest_path:
+        Path of a run manifest.  When set, finished cells are checkpointed
+        there (per cell on the serial backend, per dataset row on parallel
+        backends) and — unless ``run(..., resume=False)`` — a previous
+        manifest of the *same suite* is merged, skipping its cells.  A
+        manifest whose suite fingerprint does not match is discarded.
     verbose:
         Print one line per (dataset, toolkit) pair as the matrix runs.
     """
@@ -63,6 +77,7 @@ class BenchmarkRunner:
         max_train_seconds: float | None = None,
         n_jobs: int | None = None,
         executor: str | BaseExecutor | None = None,
+        manifest_path: str | None = None,
         verbose: bool = False,
     ):
         self.horizon = check_horizon(horizon)
@@ -71,6 +86,7 @@ class BenchmarkRunner:
         self.max_train_seconds = max_train_seconds
         self.n_jobs = n_jobs
         self.executor = executor
+        self.manifest_path = manifest_path
         self.verbose = verbose
 
     def _log(self, message: str) -> None:
@@ -104,9 +120,15 @@ class BenchmarkRunner:
         self,
         datasets: Mapping[str, np.ndarray],
         toolkits: Mapping[str, ToolkitFactory],
+        resume: bool = True,
     ) -> BenchmarkResults:
-        """Run every toolkit on every data set and collect the results."""
-        results = BenchmarkResults(horizon=self.horizon)
+        """Run every toolkit on every data set and collect the results.
+
+        With ``manifest_path`` set and ``resume`` true (the default), cells
+        recorded by a previous run of the same suite are merged instead of
+        recomputed; ``resume=False`` recomputes everything and overwrites
+        the manifest.
+        """
         tasks: list[ToolkitRunTask] = []
         for dataset_name, data in datasets.items():
             train, test = self.split(data)
@@ -122,27 +144,101 @@ class BenchmarkRunner:
                     )
                 )
 
-        engine = get_executor(self.executor, self.n_jobs)
-        if isinstance(engine, SerialExecutor) and self.verbose:
-            # Keep the live per-cell log of the original sequential runner.
-            outcomes = []
-            for index, task in enumerate(tasks):
-                outcome = engine.map_tasks(
-                    run_toolkit_task, [task], timeout=self.max_train_seconds
-                )[0]
-                outcome.index = index
-                outcomes.append(outcome)
-                self._log_outcome(task, outcome)
-        else:
-            outcomes = engine.map_tasks(
-                run_toolkit_task, tasks, timeout=self.max_train_seconds
+        manifest: RunManifest | None = None
+        if self.manifest_path is not None:
+            fingerprint = suite_fingerprint(
+                datasets,
+                toolkits,
+                horizon=self.horizon,
+                train_fraction=self.train_fraction,
+                evaluation_window=self.evaluation_window,
+                max_train_seconds=self.max_train_seconds,
             )
-            for task, outcome in zip(tasks, outcomes):
-                self._log_outcome(task, outcome)
+            manifest = RunManifest(self.manifest_path, fingerprint)
+            if resume and manifest.load():
+                self._log(
+                    f"resuming from {self.manifest_path}: "
+                    f"{len(manifest)} of {len(tasks)} cells already recorded"
+                )
 
-        for task, outcome in zip(tasks, outcomes):
-            results.add(self._to_run(task, outcome))
+        completed: dict[tuple, ToolkitRun] = {}
+        pending: list[ToolkitRunTask] = []
+        for task in tasks:
+            cached = manifest.get(*task.tag) if manifest is not None else None
+            if cached is not None:
+                completed[task.tag] = cached
+                self._log(
+                    f"{cached.dataset:<28s} {cached.toolkit:<18s} resumed from manifest"
+                )
+            else:
+                pending.append(task)
+
+        engine = get_executor(self.executor, self.n_jobs)
+        for chunk in self._checkpoint_chunks(pending, manifest, engine):
+            outcomes = engine.map_tasks(
+                run_toolkit_task, chunk, timeout=self.max_train_seconds
+            )
+            for task, outcome in zip(chunk, outcomes):
+                self._log_outcome(task, outcome)
+                run = self._to_run(task, outcome)
+                completed[task.tag] = run
+                if manifest is not None and not self._transient_failure(outcome):
+                    manifest.record(run)
+            if manifest is not None:
+                manifest.flush()
+
+        results = BenchmarkResults(horizon=self.horizon)
+        for task in tasks:
+            results.add(completed[task.tag])
         return results
+
+    def _checkpoint_chunks(
+        self,
+        pending: list[ToolkitRunTask],
+        manifest: RunManifest | None,
+        engine: BaseExecutor,
+    ) -> Iterable[list[ToolkitRunTask]]:
+        """Split the remaining tasks into units of work between checkpoints.
+
+        Without a manifest the whole matrix is one batch (maximum backend
+        parallelism); on the serial backend it is one cell at a time so
+        verbose logs stay live.  With a manifest the serial backend
+        checkpoints after every cell; parallel backends checkpoint at
+        dataset-row boundaries, but rows are accumulated until the chunk
+        can fill the worker pool so narrow matrices (few toolkits) do not
+        starve a wide ``n_jobs``.
+        """
+        if not pending:
+            return
+        if isinstance(engine, SerialExecutor):
+            for task in pending:
+                yield [task]
+            return
+        if manifest is None:
+            yield pending
+            return
+        workers = getattr(engine, "n_jobs", None) or resolve_n_jobs(self.n_jobs)
+        chunk: list[ToolkitRunTask] = []
+        for task in pending:
+            if chunk and chunk[-1].tag[0] != task.tag[0] and len(chunk) >= workers:
+                yield chunk
+                chunk = []
+            chunk.append(task)
+        if chunk:
+            yield chunk
+
+    @staticmethod
+    def _transient_failure(outcome) -> bool:
+        """True for executor-level failures that deserve a retry on resume.
+
+        A worker that crashed (OOM kill, node fault) without being preempted
+        over budget says nothing about the toolkit itself, so the cell is
+        reported for this invocation but *not* checkpointed — mirroring the
+        evaluation cache's never-cache-transient-failures policy.  Budget
+        preemptions and in-toolkit errors are deterministic facts of the
+        suite and are recorded.
+        """
+        return outcome.value is None and not outcome.timed_out
 
     def _to_run(self, task: ToolkitRunTask, outcome) -> ToolkitRun:
         """Fold one engine outcome into the paper's result conventions."""

@@ -86,6 +86,16 @@ class AutoAITS(BaseForecaster):
     executor:
         Execution backend handed to T-Daub: ``None`` (auto), ``"serial"``,
         ``"threads"``, ``"processes"`` or a ``repro.exec.BaseExecutor``.
+    cache_dir:
+        Directory of a persistent evaluation store handed to T-Daub.  Fits
+        of identical (pipeline, data slice, horizon) combinations are
+        served from disk across processes and runs — point several
+        benchmark shards at one shared directory to split the work.
+    budget:
+        Wall-clock budget in seconds for the T-Daub ranking phase,
+        enforced cooperatively on every execution backend.  When it runs
+        out the ranking falls back to the learning-curve projections
+        gathered so far (the fitted model is still delivered).
     """
 
     def __init__(
@@ -104,6 +114,8 @@ class AutoAITS(BaseForecaster):
         random_state: int | None = 0,
         n_jobs: int | None = None,
         executor=None,
+        cache_dir: str | None = None,
+        budget: float | None = None,
     ):
         self.prediction_horizon = prediction_horizon
         self.lookback_window = lookback_window
@@ -119,6 +131,8 @@ class AutoAITS(BaseForecaster):
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.executor = executor
+        self.cache_dir = cache_dir
+        self.budget = budget
 
     # -- orchestration ---------------------------------------------------------
     def fit(self, X, y=None, timestamps=None) -> "AutoAITS":
@@ -192,10 +206,13 @@ class AutoAITS(BaseForecaster):
             verbose=self.verbose,
             n_jobs=self.n_jobs,
             executor=self.executor,
+            cache_dir=self.cache_dir,
+            budget=self.budget,
         )
         progress.report("t-daub", "ranking pipelines with reverse data allocation")
         tdaub.fit(train)
         self.tdaub_ = tdaub
+        self.budget_exhausted_ = getattr(tdaub, "budget_exhausted_", False)
         self.ranked_pipelines_ = tdaub.ranked_names_
         self.evaluations_ = tdaub.evaluations_
         progress.report(

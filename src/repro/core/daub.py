@@ -35,6 +35,8 @@ class Daub(TDaub):
         n_jobs: int | None = None,
         executor=None,
         memoize: bool = True,
+        cache_dir: str | None = None,
+        budget: float | None = None,
     ):
         super().__init__(
             pipelines=pipelines,
@@ -51,6 +53,8 @@ class Daub(TDaub):
             n_jobs=n_jobs,
             executor=executor,
             memoize=memoize,
+            cache_dir=cache_dir,
+            budget=budget,
         )
 
     @classmethod
@@ -71,4 +75,6 @@ class Daub(TDaub):
             "n_jobs",
             "executor",
             "memoize",
+            "cache_dir",
+            "budget",
         )

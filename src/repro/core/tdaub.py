@@ -34,7 +34,7 @@ import numpy as np
 from .._validation import as_2d_array, check_positive_int
 from ..exceptions import InvalidParameterError
 from ..exec.cache import EvaluationCache
-from ..exec.executor import BaseExecutor, get_executor, resolve_n_jobs
+from ..exec.executor import BaseExecutor, Deadline, get_executor, resolve_n_jobs
 from ..exec.tasks import FitScoreResult, FitScoreTask, run_fit_score_task
 from ..stats.linear_model import ols_fit
 from .base import BaseEstimator, BaseForecaster, clone
@@ -144,6 +144,19 @@ class TDaub(BaseEstimator):
         Cache ``(pipeline params, slice, horizon) -> score`` within this fit
         so identical re-evaluations (e.g. the scoring-phase retrain of a
         fully allocated pipeline) are free.  On by default.
+    cache_dir:
+        Directory of a persistent evaluation store shared across fits,
+        processes and runs.  Requires ``memoize=True`` (the default); a
+        warm re-run against the same data serves every evaluation from
+        disk.  ``None`` keeps the cache in-memory only.
+    budget:
+        Wall-clock budget in seconds for the whole ranking run.  Enforced
+        cooperatively on every backend: once exhausted, remaining
+        evaluations in the current batch are skipped (the process backend
+        also terminates in-flight fits), no further rounds or waves start,
+        and the ranking falls back to the projections gathered so far.
+        ``budget_exhausted_`` reports whether the deadline fired.
+        ``None`` (default) means unlimited.
     """
 
     def __init__(
@@ -162,6 +175,8 @@ class TDaub(BaseEstimator):
         n_jobs: int | None = None,
         executor: str | BaseExecutor | None = None,
         memoize: bool = True,
+        cache_dir: str | None = None,
+        budget: float | None = None,
     ):
         self.pipelines = list(pipelines)
         self.min_allocation_size = min_allocation_size
@@ -177,6 +192,8 @@ class TDaub(BaseEstimator):
         self.n_jobs = n_jobs
         self.executor = executor
         self.memoize = memoize
+        self.cache_dir = cache_dir
+        self.budget = budget
 
     # -- helpers -------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -216,7 +233,7 @@ class TDaub(BaseEstimator):
                 if hit is not None:
                     # The wall clock spent on a cache hit is ~0; keep the
                     # per-pipeline timing honest by not re-charging it.
-                    results[index] = replace(hit, seconds=0.0)
+                    results[index] = replace(hit, seconds=0.0, from_cache=True)
                     continue
             pending.append(
                 (
@@ -233,8 +250,18 @@ class TDaub(BaseEstimator):
                 )
             )
 
+        deadline_skips: set[int] = set()
         if pending:
-            outcomes = self._engine.map_tasks(run_fit_score_task, [task for _, _, task in pending])
+            tasks = [task for _, _, task in pending]
+            if self._deadline is not None:
+                outcomes = self._engine.map_tasks(
+                    run_fit_score_task, tasks, deadline=self._deadline
+                )
+            else:
+                # No budget: keep the pre-deadline call shape so custom
+                # BaseExecutor implementations without the ``deadline``
+                # parameter keep working.
+                outcomes = self._engine.map_tasks(run_fit_score_task, tasks)
             for (index, key, task), outcome in zip(pending, outcomes):
                 result = outcome.value
                 if result is None:
@@ -249,15 +276,23 @@ class TDaub(BaseEstimator):
                         n_train=int(len(task.train)),
                         error=outcome.error or "execution engine returned no result",
                     )
+                    if outcome.timed_out:
+                        # Preempted/skipped by the run deadline, not broken:
+                        # the pipeline must not be reported as failed.
+                        deadline_skips.add(index)
                 elif key is not None:
-                    self._cache.put(key, result)
+                    # In-task failures stay memory-only: they are often
+                    # environment-specific (missing optional dependency,
+                    # resource exhaustion) and must not poison other runs
+                    # or machines sharing the persistent store.
+                    self._cache.put(key, result, persist=not result.failed)
                 results[index] = result
 
         scores: list[float] = []
         for index, (name, _, train, _) in enumerate(jobs):
             result = results[index]
             evaluation = evaluations[name]
-            if result.failed:
+            if result.failed and index not in deadline_skips:
                 evaluation.failed = True
                 evaluation.failure_message = result.error
             evaluation.train_seconds += result.seconds
@@ -280,7 +315,10 @@ class TDaub(BaseEstimator):
         start_time = time.perf_counter()
         self._engine = get_executor(self.executor, self.n_jobs)
         self._batch_size = max(1, resolve_n_jobs(self.n_jobs))
-        self._cache = EvaluationCache() if self.memoize else None
+        self._cache = (
+            EvaluationCache(cache_dir=self.cache_dir) if self.memoize else None
+        )
+        self._deadline = Deadline(self.budget) if self.budget is not None else None
         T = as_2d_array(T)
         horizon = int(self.horizon)
 
@@ -322,8 +360,16 @@ class TDaub(BaseEstimator):
             )
             for name, score in zip(names, scores):
                 evaluations[name].final_score = score
+            # Explicit None check: a perfect forecast scores -0.0, which is
+            # falsy and must not be confused with "never scored".
             ranked = sorted(
-                names, key=lambda n: evaluations[n].final_score or -np.inf, reverse=True
+                names,
+                key=lambda n: (
+                    evaluations[n].final_score
+                    if evaluations[n].final_score is not None
+                    else -np.inf
+                ),
+                reverse=True,
             )
             self._finalise(T, ranked, evaluations, start_time)
             return self
@@ -333,6 +379,9 @@ class TDaub(BaseEstimator):
         # are independent of one another.
         num_fix_runs = max(int(cutoff / min_allocation), 1)
         for run_index in range(1, num_fix_runs + 1):
+            if self._deadline is not None and self._deadline.expired:
+                self._log("Budget exhausted during fixed allocation; stopping early.")
+                break
             allocation = min(min_allocation * run_index, L)
             self._log(f"Fixed allocation {run_index}/{num_fix_runs}: {allocation} samples")
             train = self._allocation_slice(T1, allocation)
@@ -353,12 +402,24 @@ class TDaub(BaseEstimator):
         # -inf (no finite score on any allocation: permanently broken) are
         # dropped instead of wasting further full fit cycles.
         heap: list[tuple[float, int, str]] = []
-        last_allocation = {name: evaluations[name].allocation_sizes[-1] for name in names}
+        # An exhausted budget can end the fixed phase before any round ran,
+        # leaving a pipeline's allocation history empty.
+        last_allocation = {
+            name: (
+                evaluations[name].allocation_sizes[-1]
+                if evaluations[name].allocation_sizes
+                else 0
+            )
+            for name in names
+        }
         for order, name in enumerate(names):
             if np.isfinite(evaluations[name].projected_score):
                 heapq.heappush(heap, (-evaluations[name].projected_score, order, name))
 
         while heap:
+            if self._deadline is not None and self._deadline.expired:
+                self._log("Budget exhausted during acceleration; stopping early.")
+                break
             wave: list[tuple[int, str, int]] = []
             while heap and len(wave) < self._batch_size:
                 _, order, name = heapq.heappop(heap)
@@ -419,10 +480,21 @@ class TDaub(BaseEstimator):
         n_final = min(int(self.run_to_completion), len(names))
         final_names = provisional[:n_final]
         self._log("Scoring phase: retraining " + ", ".join(final_names) + " on full split")
+        # Even with the budget exhausted the batch is still submitted: cache
+        # hits (a pipeline that already reached the full allocation) are free
+        # and the executor skips the rest under the expired deadline.
         final_scores = self._evaluate_batch(
             [(name, templates[name], T1, T2) for name in final_names], evaluations
         )
         for name, score in zip(final_names, final_scores):
+            if (
+                self._deadline is not None
+                and self._deadline.expired
+                and not np.isfinite(score)
+            ):
+                # The retrain was skipped, not evaluated: rank the pipeline
+                # on its projection instead of a phantom -inf score.
+                continue
             evaluations[name].final_score = score
 
         def _ranking_key(name: str) -> float:
@@ -468,6 +540,7 @@ class TDaub(BaseEstimator):
         self.evaluations_ = evaluations
         self.best_pipeline_ = best_pipeline
         self.cache_stats_ = self._cache.stats if self._cache is not None else None
+        self.budget_exhausted_ = bool(self._deadline is not None and self._deadline.expired)
         self.result_ = TDaubResult(
             ranked_names=ranked,
             evaluations=evaluations,

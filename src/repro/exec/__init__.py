@@ -6,10 +6,13 @@ scoring phase and the full benchmark matrix — funnels through this package:
 
 - :mod:`repro.exec.executor` — ``SerialExecutor`` / ``ThreadExecutor`` /
   ``ProcessExecutor`` behind one order-preserving ``map_tasks`` interface,
-  with real per-task timeout enforcement in the process backend.
-- :mod:`repro.exec.cache` — :class:`EvaluationCache`, memoizing
-  ``(pipeline params, data fingerprints, horizon) -> score`` so identical
-  refits are never recomputed.
+  with real per-task timeout enforcement in the process backend and
+  cooperative batch-wide :class:`Deadline` enforcement on every backend.
+- :mod:`repro.exec.cache` — :class:`EvaluationCache`, a two-tier memo of
+  ``(pipeline params, data fingerprints, horizon) -> score``: an in-memory
+  LRU front tier plus an optional persistent tier under ``cache_dir``.
+- :mod:`repro.exec.store` — :class:`DiskStore`, the content-addressed,
+  versioned, crash-safe record store behind the persistent tier.
 - :mod:`repro.exec.tasks` — picklable task payloads and runner functions
   for pipeline evaluations and benchmark cells.
 """
@@ -17,6 +20,7 @@ scoring phase and the full benchmark matrix — funnels through this package:
 from .cache import CacheStats, EvaluationCache, estimator_fingerprint
 from .executor import (
     BaseExecutor,
+    Deadline,
     ProcessExecutor,
     SerialExecutor,
     TaskOutcome,
@@ -24,6 +28,7 @@ from .executor import (
     get_executor,
     resolve_n_jobs,
 )
+from .store import SCHEMA_VERSION, DiskStore, key_digest
 from .tasks import (
     FitScoreResult,
     FitScoreTask,
@@ -39,11 +44,15 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "TaskOutcome",
+    "Deadline",
     "get_executor",
     "resolve_n_jobs",
     "EvaluationCache",
     "CacheStats",
     "estimator_fingerprint",
+    "DiskStore",
+    "key_digest",
+    "SCHEMA_VERSION",
     "FitScoreTask",
     "FitScoreResult",
     "run_fit_score_task",

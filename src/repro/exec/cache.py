@@ -1,39 +1,56 @@
-"""Memoization of pipeline evaluations.
+"""Two-tier memoization of pipeline evaluations.
 
 T-Daub repeatedly fits clones of the same pipeline template on slices of the
 same training array: the last fixed-allocation round, the final acceleration
 step and the run-to-completion scoring phase all frequently land on the
 *identical* ``(pipeline parameters, training slice, test slice, horizon)``
 combination.  Because every evaluation starts from an unfitted clone, the
-result is a pure function of that combination — so it can be cached.
+result is a pure function of that combination — so it can be cached, and
+(because the fingerprints are content-based, not identity-based) reused by
+*other processes and later runs* as well.
 
 :class:`EvaluationCache` keys entries on a structural fingerprint of the
 pipeline's hyper-parameters plus content fingerprints (BLAKE2 digests) of
 the training and test slices, which makes two different ``numpy`` views with
 equal content hit the same entry while any change in data, parameters or
-horizon misses.
+horizon misses.  The cache has two tiers:
+
+- an in-memory LRU front tier (always on), and
+- an optional persistent back tier — a :class:`repro.exec.store.DiskStore`
+  under ``cache_dir`` — consulted on memory misses and written through on
+  every insert, so repeated benchmark invocations on the same suites skip
+  identical fits entirely.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import threading
+import types
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
 import numpy as np
 
+from .store import DiskStore, key_digest
+
 __all__ = ["EvaluationCache", "CacheStats"]
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one cache instance."""
+    """Hit/miss counters of one cache instance.
+
+    ``disk_hits`` counts the subset of ``hits`` that were served from the
+    persistent tier (and promoted into the memory tier).
+    """
 
     hits: int
     misses: int
     size: int
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,10 +59,36 @@ class CacheStats:
 
 
 def _array_fingerprint(values: np.ndarray) -> tuple:
-    """Content fingerprint of an array: shape, dtype and a BLAKE2 digest."""
-    values = np.ascontiguousarray(values)
-    digest = hashlib.blake2b(values.tobytes(), digest_size=16).hexdigest()
+    """Content fingerprint of an array: shape, dtype and a BLAKE2 digest.
+
+    Already-contiguous arrays are hashed through their buffer directly
+    (zero copies); only non-contiguous views pay one compaction copy.
+    """
+    values = np.asarray(values)
+    if not values.flags.c_contiguous:
+        values = np.ascontiguousarray(values)
+    digest = hashlib.blake2b(values.data, digest_size=16).hexdigest()
     return ("array", values.shape, values.dtype.str, digest)
+
+
+def _instance_fingerprint(value: Any) -> Hashable:
+    """Content fingerprint of a plain object: type plus attribute state.
+
+    Used for configured scorer objects (callable instances, bound-method
+    receivers) where the default ``repr`` would embed a memory address and
+    silently defeat cross-run reuse.  Objects without a ``__dict__`` fall
+    back to ``repr``.
+    """
+    try:
+        state = vars(value)
+    except TypeError:
+        return ("repr", repr(value))
+    return (
+        "instance",
+        type(value).__module__,
+        type(value).__qualname__,
+        tuple(sorted((str(k), _value_fingerprint(v)) for k, v in state.items())),
+    )
 
 
 def _value_fingerprint(value: Any) -> Hashable:
@@ -58,10 +101,48 @@ def _value_fingerprint(value: Any) -> Hashable:
         return tuple(sorted((str(k), _value_fingerprint(v)) for k, v in value.items()))
     if hasattr(value, "get_params") and callable(value.get_params):
         return estimator_fingerprint(value)
+    if isinstance(value, functools.partial):
+        return (
+            "partial",
+            _value_fingerprint(value.func),
+            _value_fingerprint(list(value.args)),
+            _value_fingerprint(value.keywords),
+        )
     if callable(value):
-        # Callables (custom scorers) have no stable structural identity; the
-        # object id keeps distinct callables distinct within one process.
-        return ("callable", getattr(value, "__qualname__", repr(value)), id(value))
+        # Callables (custom scorers) are fingerprinted by where they are
+        # defined — module, qualified name and (for plain functions) the
+        # source line, which keeps two lambdas in one expression distinct —
+        # so the same function hits across processes and runs.  Bound
+        # methods additionally fingerprint the instance they are bound to,
+        # keeping two configured scorer objects distinct.  Note the
+        # *captured state* of a closure is NOT part of the fingerprint:
+        # closures over mutable state are uncacheable and two closures over
+        # different values of the same variable will collide.  Pass such
+        # state as an explicit hyper-parameter instead.
+        code = getattr(value, "__code__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if code is None and qualname is None:
+            # A callable *instance* (defines __call__): its identity is its
+            # type plus configuration, never its address.
+            return ("callable",) + _instance_fingerprint(value)
+        fingerprint = (
+            "callable",
+            getattr(value, "__module__", ""),
+            qualname if qualname is not None else repr(value),
+            code.co_firstlineno if code is not None else None,
+        )
+        bound_to = getattr(value, "__self__", None)
+        if bound_to is not None:
+            if isinstance(bound_to, types.ModuleType):
+                # Builtins (e.g. math.sin) are bound to their module.
+                fingerprint += (("module", bound_to.__name__),)
+            elif hasattr(bound_to, "get_params") and callable(bound_to.get_params):
+                fingerprint += (estimator_fingerprint(bound_to),)
+            elif isinstance(bound_to, type):
+                fingerprint += ((bound_to.__module__, bound_to.__qualname__),)
+            else:
+                fingerprint += (_instance_fingerprint(bound_to),)
+        return fingerprint
     if isinstance(value, (str, int, float, bool, bytes, type(None))):
         return (type(value).__name__, value)
     return ("repr", repr(value))
@@ -87,19 +168,38 @@ class EvaluationCache:
     Parameters
     ----------
     max_entries:
-        Upper bound on retained entries; the least recently used entry is
-        evicted first.  ``None`` means unbounded (the default — T-Daub runs
-        produce at most a few hundred entries).
+        Upper bound on retained in-memory entries; the least recently used
+        entry is evicted first.  ``None`` means unbounded (the default —
+        T-Daub runs produce at most a few hundred entries).  Eviction from
+        the memory tier never deletes persisted records.
+    cache_dir:
+        Directory of the persistent tier.  ``None`` (default) keeps the
+        cache memory-only; a path makes every insert write through to a
+        :class:`~repro.exec.store.DiskStore` and every memory miss consult
+        it, so entries survive the process and can be shared between
+        concurrent runs.
+    store:
+        A ready-made store instance (overrides ``cache_dir``); useful for
+        injecting a store with a custom schema version in tests.
     """
 
-    def __init__(self, max_entries: int | None = None):
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        cache_dir: str | None = None,
+        store: DiskStore | None = None,
+    ):
         if max_entries is not None and int(max_entries) < 1:
             raise ValueError("max_entries must be a positive integer or None.")
         self.max_entries = max_entries
+        if store is None and cache_dir is not None:
+            store = DiskStore(cache_dir)
+        self.store = store
         self._store: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     # -- key construction ------------------------------------------------------
     def make_key(
@@ -121,28 +221,56 @@ class EvaluationCache:
 
     # -- store operations ------------------------------------------------------
     def get(self, key: Hashable) -> Any | None:
-        """Return the cached value for ``key`` or ``None`` on a miss."""
+        """Return the cached value for ``key`` or ``None`` on a miss.
+
+        Memory misses fall through to the persistent tier; a disk hit is
+        promoted into the memory tier so repeated lookups stay cheap.
+        """
         with self._lock:
             if key in self._store:
                 self._hits += 1
                 self._store.move_to_end(key)
                 return self._store[key]
-            self._misses += 1
-            return None
-
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) one entry, evicting the LRU entry if full."""
+        if self.store is not None:
+            value = self.store.get(key_digest(key))
+            if value is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._disk_hits += 1
+                    self._insert(key, value)
+                return value
         with self._lock:
-            self._store[key] = value
-            self._store.move_to_end(key)
-            if self.max_entries is not None and len(self._store) > self.max_entries:
-                self._store.popitem(last=False)
+            self._misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any, persist: bool = True) -> None:
+        """Insert (or refresh) one entry, evicting the LRU entry if full.
+
+        With a persistent tier attached the value is written through; values
+        the store cannot represent stay memory-only.  ``persist=False``
+        restricts the entry to the memory tier — for results that are valid
+        within this process but must not poison other runs or machines
+        sharing the store (e.g. environment-dependent failures).
+        """
+        with self._lock:
+            self._insert(key, value)
+        if self.store is not None and persist:
+            self.store.put(key_digest(key), value)
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        """Memory-tier insert; caller must hold the lock."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop the memory tier and reset counters (persisted records stay)."""
         with self._lock:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -151,11 +279,17 @@ class EvaluationCache:
     @property
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._store),
+                disk_hits=self._disk_hits,
+            )
 
     def __repr__(self) -> str:
         stats = self.stats
+        tier = f", store={self.store!r}" if self.store is not None else ""
         return (
             f"EvaluationCache(size={stats.size}, hits={stats.hits}, "
-            f"misses={stats.misses})"
+            f"misses={stats.misses}, disk_hits={stats.disk_hits}{tier})"
         )

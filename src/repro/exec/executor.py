@@ -20,6 +20,16 @@ with three interchangeable backends:
     per-task timeout enforcement: a task that overruns its budget is
     terminated with ``SIGTERM`` and reported as ``timed_out``.
 
+Beyond the per-task ``timeout``, every backend understands a batch-wide
+:class:`Deadline`.  A deadline cannot make the serial/thread backends
+preempt a running task either — but it gives them *cooperative* budget
+enforcement between tasks: once the deadline passes, tasks that have not
+started yet are skipped (returned as ``timed_out`` outcomes with no value)
+instead of being run to completion one after another.  The process backend
+additionally terminates in-flight workers at the deadline.  This is what
+lets ``max_train_seconds`` bound a whole T-Daub ranking round on *all*
+backends, not only on the one that can kill workers.
+
 All backends preserve submission order in the returned outcome list, which
 is what lets T-Daub keep its deterministic heap ordering regardless of the
 order in which workers actually finish.
@@ -38,6 +48,7 @@ from typing import Any, Callable, Sequence
 
 __all__ = [
     "TaskOutcome",
+    "Deadline",
     "BaseExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -45,6 +56,53 @@ __all__ = [
     "get_executor",
     "resolve_n_jobs",
 ]
+
+
+class Deadline:
+    """Wall-clock budget shared by a batch (or a whole run) of tasks.
+
+    A deadline starts ticking when constructed; executors consult it
+    cooperatively — before starting each task, and (process backend) while
+    tasks run.  ``seconds=None`` means unlimited and never expires, which
+    lets callers thread an optional budget through without branching.
+    """
+
+    def __init__(self, seconds: float | None):
+        self.seconds = None if seconds is None else float(seconds)
+        self._start = time.monotonic()
+
+    def remaining(self) -> float | None:
+        """Seconds left before expiry (may be negative); ``None`` = unlimited."""
+        if self.seconds is None:
+            return None
+        return self.seconds - (time.monotonic() - self._start)
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def clamp(self, timeout: float | None) -> float | None:
+        """Tighten a per-task timeout so it never outlives the deadline."""
+        remaining = self.remaining()
+        if remaining is None:
+            return timeout
+        remaining = max(remaining, 0.0)
+        if timeout is None:
+            return remaining
+        return min(float(timeout), remaining)
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds}, remaining={self.remaining()})"
+
+
+def _deadline_outcome(index: int, deadline: "Deadline") -> TaskOutcome:
+    """Outcome for a task skipped because the batch deadline already passed."""
+    return TaskOutcome(
+        index=index,
+        error=f"skipped: the {deadline.seconds:g}s batch deadline was exhausted",
+        timed_out=True,
+    )
 
 
 @dataclass
@@ -88,6 +146,7 @@ class BaseExecutor:
         fn: Callable[[Any], Any],
         tasks: Sequence[Any],
         timeout: float | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[TaskOutcome]:
         """Apply ``fn`` to every task and return outcomes in task order.
 
@@ -95,6 +154,10 @@ class BaseExecutor:
         preempt (serial, threads) record overruns via ``timed_out`` but keep
         the value; ``ProcessExecutor`` terminates the worker and returns an
         outcome with ``value=None, timed_out=True``.
+
+        ``deadline`` is a batch-wide budget: every backend skips tasks that
+        have not started when it expires (cooperative enforcement), and the
+        process backend also terminates in-flight workers at expiry.
         """
         raise NotImplementedError
 
@@ -102,8 +165,23 @@ class BaseExecutor:
         return f"{type(self).__name__}()"
 
 
-def _run_inline(fn: Callable[[Any], Any], task: Any, timeout: float | None) -> TaskOutcome:
-    """Execute one task in the calling process with a soft timeout."""
+def _run_inline(
+    fn: Callable[[Any], Any],
+    task: Any,
+    timeout: float | None,
+    deadline: "Deadline | None" = None,
+) -> TaskOutcome:
+    """Execute one task in the calling process with a soft timeout.
+
+    The deadline is checked *before* the task starts (a running task cannot
+    be preempted in-process): an already-expired deadline skips the task.
+    """
+    if deadline is not None:
+        if deadline.expired:
+            return _deadline_outcome(-1, deadline)
+        # Clamp against the time remaining *at task start*: a task is only
+        # flagged when it outruns its own budget or crosses the deadline.
+        timeout = deadline.clamp(timeout)
     start = time.perf_counter()
     try:
         value, error = fn(task), ""
@@ -119,10 +197,10 @@ class SerialExecutor(BaseExecutor):
 
     name = "serial"
 
-    def map_tasks(self, fn, tasks, timeout=None):
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         outcomes = []
         for index, task in enumerate(tasks):
-            outcome = _run_inline(fn, task, timeout)
+            outcome = _run_inline(fn, task, timeout, deadline)
             outcome.index = index
             outcomes.append(outcome)
         return outcomes
@@ -136,11 +214,13 @@ class ThreadExecutor(BaseExecutor):
     def __init__(self, n_jobs: int | None = None):
         self.n_jobs = resolve_n_jobs(n_jobs)
 
-    def map_tasks(self, fn, tasks, timeout=None):
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         if not tasks:
             return []
         with _FuturesThreadPool(max_workers=self.n_jobs) as pool:
-            futures = [pool.submit(_run_inline, fn, task, timeout) for task in tasks]
+            # The deadline check runs inside each worker at task start, so
+            # queued tasks behind slow ones are skipped once it expires.
+            futures = [pool.submit(_run_inline, fn, task, timeout, deadline) for task in tasks]
             outcomes = []
             for index, future in enumerate(futures):
                 outcome = future.result()
@@ -192,7 +272,7 @@ class ProcessExecutor(BaseExecutor):
         self.start_method = start_method
         self.poll_interval = float(poll_interval)
 
-    def map_tasks(self, fn, tasks, timeout=None):
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         if not tasks:
             return []
         ctx = multiprocessing.get_context(self.start_method)
@@ -203,6 +283,9 @@ class ProcessExecutor(BaseExecutor):
         while pending or running:
             while pending and len(running) < self.n_jobs:
                 index, task = pending.popleft()
+                if deadline is not None and deadline.expired:
+                    outcomes[index] = _deadline_outcome(index, deadline)
+                    continue
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(target=_process_worker, args=(child_conn, fn, task))
                 try:
@@ -210,7 +293,7 @@ class ProcessExecutor(BaseExecutor):
                 except Exception:  # noqa: BLE001 - unpicklable task under spawn
                     parent_conn.close()
                     child_conn.close()
-                    outcome = _run_inline(fn, task, timeout)
+                    outcome = _run_inline(fn, task, timeout, deadline)
                     outcome.index = index
                     outcomes[index] = outcome
                     continue
@@ -240,11 +323,20 @@ class ProcessExecutor(BaseExecutor):
                     outcomes[index] = TaskOutcome(
                         index=index, value=value, error=error, seconds=elapsed
                     )
-                elif timeout is not None and elapsed > timeout:
+                elif (timeout is not None and elapsed > timeout) or (
+                    deadline is not None and deadline.expired
+                ):
                     process.terminate()
+                    if timeout is not None and elapsed > timeout:
+                        reason = f"terminated after exceeding the {timeout:g}s task budget"
+                    else:
+                        reason = (
+                            f"terminated: the {deadline.seconds:g}s batch deadline "
+                            "was exhausted"
+                        )
                     outcomes[index] = TaskOutcome(
                         index=index,
-                        error=f"terminated after exceeding the {timeout:g}s task budget",
+                        error=reason,
                         seconds=elapsed,
                         timed_out=True,
                     )

@@ -55,13 +55,19 @@ class FitScoreTask:
 
 @dataclass
 class FitScoreResult:
-    """Outcome of one :class:`FitScoreTask`."""
+    """Outcome of one :class:`FitScoreTask`.
+
+    ``from_cache`` is stamped by the caller when the result was served by a
+    cache tier instead of a fresh fit; persisted records always store it as
+    False.
+    """
 
     tag: Any
     score: float
     seconds: float
     n_train: int
     error: str = ""
+    from_cache: bool = False
 
     @property
     def failed(self) -> bool:

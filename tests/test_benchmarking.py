@@ -1,5 +1,7 @@
 """Tests for the benchmark runner, result containers and report rendering."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.benchmarking import (
     BenchmarkRunner,
     FAST_PROFILE,
     FULL_PROFILE,
+    RunManifest,
     autoai_toolkit_factories,
     internal_pipeline_factories,
     profile_multivariate_datasets,
@@ -15,8 +18,10 @@ from repro.benchmarking import (
     render_detail_table,
     render_rank_histogram,
     sota_toolkit_factories,
+    suite_fingerprint,
 )
 from repro.benchmarking.results import BenchmarkResults, ToolkitRun
+from repro.exec import SerialExecutor
 from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
 
 
@@ -82,6 +87,190 @@ class TestRunner:
             {"flat": np.arange(50.0)}, {"NaN": lambda h: _NaNModel(horizon=h)}
         )
         assert results.runs[0].failed
+
+
+def _summary_view(results: BenchmarkResults):
+    """Everything the reports are built from, minus provenance flags."""
+    return [
+        (run.dataset, run.toolkit, round(run.smape, 10), run.failed, run.over_budget)
+        for run in results.runs
+    ]
+
+
+class _CrashingExecutor(SerialExecutor):
+    """Backend whose workers all die without returning a result."""
+
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
+        outcomes = super().map_tasks(fn, tasks, timeout=timeout, deadline=deadline)
+        for outcome in outcomes:
+            outcome.value = None
+            outcome.error = "worker died with exit code -9"
+        return outcomes
+
+
+class _InterruptingExecutor(SerialExecutor):
+    """Serial backend that dies after a given number of completed cells."""
+
+    def __init__(self, fail_after: int):
+        super().__init__()
+        self.fail_after = fail_after
+        self.completed = 0
+
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
+        if self.completed >= self.fail_after:
+            raise RuntimeError("simulated interruption (node preempted)")
+        self.completed += len(tasks)
+        return super().map_tasks(fn, tasks, timeout=timeout, deadline=deadline)
+
+
+class TestResumableRuns:
+    def test_second_invocation_served_from_manifest(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        first = BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        second = BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert first.from_cache_count() == 0
+        assert second.from_cache_count() == len(second.runs) == 4
+        assert _summary_view(second) == _summary_view(first)
+
+    def test_interrupted_run_resumes_to_identical_summary(self, tmp_path):
+        """Acceptance: resume after a crash == one uninterrupted run."""
+        manifest_path = str(tmp_path / "manifest.json")
+        uninterrupted = BenchmarkRunner(horizon=6).run(_toy_datasets(), _toy_toolkits())
+
+        interrupted = BenchmarkRunner(
+            horizon=6,
+            manifest_path=manifest_path,
+            executor=_InterruptingExecutor(fail_after=2),
+        )
+        with pytest.raises(RuntimeError, match="simulated interruption"):
+            interrupted.run(_toy_datasets(), _toy_toolkits())
+
+        resumed = BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert 0 < resumed.from_cache_count() < len(resumed.runs)
+        assert _summary_view(resumed) == _summary_view(uninterrupted)
+        assert resumed.smape_table() == uninterrupted.smape_table()
+        assert (
+            resumed.accuracy_ranking().average_rank
+            == uninterrupted.accuracy_ranking().average_rank
+        )
+
+    def test_resume_false_recomputes_everything(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        runner = BenchmarkRunner(horizon=6, manifest_path=manifest_path)
+        runner.run(_toy_datasets(), _toy_toolkits())
+        fresh = runner.run(_toy_datasets(), _toy_toolkits(), resume=False)
+        assert fresh.from_cache_count() == 0
+
+    def test_different_suite_discards_stale_manifest(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        runner = BenchmarkRunner(horizon=6, manifest_path=manifest_path)
+        runner.run(_toy_datasets(), _toy_toolkits())
+        # Same names, different data: the fingerprint must not match.
+        changed = {name: data * 2.0 for name, data in _toy_datasets().items()}
+        results = runner.run(changed, _toy_toolkits())
+        assert results.from_cache_count() == 0
+
+    def test_corrupt_manifest_is_ignored(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text("not json at all", encoding="utf-8")
+        results = BenchmarkRunner(horizon=6, manifest_path=str(manifest_path)).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert results.from_cache_count() == 0
+        # The broken manifest was overwritten with a valid one.
+        record = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert len(record["cells"]) == 4
+
+    def test_resumed_cells_marked_in_detail_table(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        runner = BenchmarkRunner(horizon=6, manifest_path=manifest_path)
+        runner.run(_toy_datasets(), _toy_toolkits())
+        resumed = runner.run(_toy_datasets(), _toy_toolkits())
+        table = render_detail_table(resumed, "Table R")
+        assert "†" in table
+        assert "served from the run manifest" in table
+
+    def test_parallel_backend_checkpoints_per_dataset(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        results = BenchmarkRunner(
+            horizon=6,
+            manifest_path=str(manifest_path),
+            n_jobs=2,
+            executor="processes",
+        ).run(_toy_datasets(), _toy_toolkits())
+        assert results.from_cache_count() == 0
+        record = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert len(record["cells"]) == 4
+
+    def test_suite_fingerprint_sensitivity(self):
+        datasets, toolkits = _toy_datasets(), _toy_toolkits()
+        base = suite_fingerprint(datasets, toolkits, 6, 0.8, None)
+        assert base == suite_fingerprint(dict(datasets), dict(toolkits), 6, 0.8, None)
+        assert base != suite_fingerprint(datasets, toolkits, 12, 0.8, None)
+        assert base != suite_fingerprint(datasets, toolkits, 6, 0.7, None)
+        assert base != suite_fingerprint(datasets, {"Zero": toolkits["Zero"]}, 6, 0.8, None)
+        # A different training budget changes which cells get preempted, so
+        # it must not resume from the old budget's manifest.
+        assert base != suite_fingerprint(datasets, toolkits, 6, 0.8, None, 30.0)
+
+    def test_changed_budget_does_not_resume_stale_manifest(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        BenchmarkRunner(
+            horizon=6, max_train_seconds=0.001, manifest_path=manifest_path
+        ).run(_toy_datasets(), _toy_toolkits())
+        unbudgeted = BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert unbudgeted.from_cache_count() == 0
+
+    def test_transient_worker_failure_retried_on_resume(self, tmp_path):
+        """A crashed worker must not be pinned as a failure by the manifest."""
+        manifest_path = str(tmp_path / "manifest.json")
+        crashed = BenchmarkRunner(
+            horizon=6, manifest_path=manifest_path, executor=_CrashingExecutor()
+        ).run(_toy_datasets(), _toy_toolkits())
+        assert all(run.failed for run in crashed.runs)
+
+        retried = BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        assert retried.from_cache_count() == 0  # nothing poisoned
+        assert not any(run.failed for run in retried.runs)
+
+    def test_manifest_load_reports_resumption(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = RunManifest(path, "fp")
+        manifest.record(ToolkitRun("tool", "data", smape=1.0, train_seconds=0.5))
+        manifest.flush()
+        reloaded = RunManifest(path, "fp")
+        assert reloaded.load()
+        cell = reloaded.get("data", "tool")
+        assert cell is not None and cell.from_cache
+        mismatched = RunManifest(path, "other-fp")
+        assert not mismatched.load()
+
+
+class TestBenchmarkCli:
+    def test_tiny_suite_resume_roundtrip(self, tmp_path, capsys):
+        from repro.benchmarking.__main__ import main
+
+        manifest = str(tmp_path / "manifest.json")
+        summary1 = str(tmp_path / "run1.json")
+        summary2 = str(tmp_path / "run2.json")
+        base = ["--suite", "tiny", "--manifest", manifest, "--resume", "--quiet"]
+        assert main(base + ["--json", summary1]) == 0
+        assert main(base + ["--json", summary2]) == 0
+        first = json.loads(open(summary1).read())
+        second = json.loads(open(summary2).read())
+        assert first["from_manifest"] == 0
+        assert second["from_manifest"] == second["cells"] == first["cells"]
+        assert capsys.readouterr().out.count("†") >= second["cells"]
 
 
 class TestResultsContainer:

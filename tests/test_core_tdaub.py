@@ -81,6 +81,21 @@ class TestTDaub:
         for evaluation in selector.evaluations_.values():
             assert len(evaluation.allocation_sizes) == 1
 
+    def test_small_dataset_perfect_score_ranks_first(self):
+        # A series that goes flat is forecast exactly by the Zero Model (its
+        # final score is -0.0) while Drift extrapolates a spurious slope.
+        # The perfect -0.0 must rank first, not be mistaken for missing.
+        series = np.concatenate([[0.0], np.full(19, 42.0)])
+        selector = TDaub(
+            pipelines=[DriftForecaster(horizon=2), ZeroModelForecaster(horizon=2)],
+            horizon=2,
+            min_allocation_size=100,
+        ).fit(series)
+        zero_eval = selector.evaluations_["ZeroModelForecaster"]
+        assert zero_eval.final_score == 0.0
+        assert selector.evaluations_["DriftForecaster"].final_score < 0.0
+        assert selector.ranked_names_[0] == "ZeroModelForecaster"
+
     def test_failing_pipeline_excluded_from_best(self, seasonal_series):
         class _Broken(ZeroModelForecaster):
             def fit(self, X, y=None):

@@ -9,6 +9,7 @@ from repro.benchmarking import BenchmarkRunner, render_detail_table
 from repro.core import TDaub
 from repro.exceptions import InvalidParameterError
 from repro.exec import (
+    Deadline,
     EvaluationCache,
     ProcessExecutor,
     SerialExecutor,
@@ -86,6 +87,57 @@ class TestExecutors:
         assert resolve_n_jobs(0) == 1
         assert resolve_n_jobs(3) == 3
         assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(n_jobs=1), ProcessExecutor(n_jobs=1)],
+        ids=lambda e: e.name,
+    )
+    def test_deadline_skips_unstarted_tasks_on_every_backend(self, executor):
+        """Cooperative budget: tasks queued behind the deadline never run.
+
+        The first task starts inside the budget and crosses the deadline
+        while running — serial/thread backends keep its value (they cannot
+        preempt) but flag it; everything queued after expiry is skipped.
+        """
+        outcomes = executor.map_tasks(
+            _slow_task, [0.3, 0.3, 0.3], deadline=Deadline(0.2)
+        )
+        assert outcomes[0].timed_out
+        for outcome in outcomes[1:]:
+            assert outcome.timed_out and outcome.value is None
+            assert "deadline" in outcome.error
+
+    def test_expired_deadline_skips_everything(self):
+        deadline = Deadline(0.0)
+        outcomes = SerialExecutor().map_tasks(_square, [1, 2, 3], deadline=deadline)
+        assert all(o.timed_out and o.value is None for o in outcomes)
+
+    def test_unlimited_deadline_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired
+        assert deadline.remaining() is None
+        assert deadline.clamp(2.5) == 2.5
+        outcomes = SerialExecutor().map_tasks(_square, [2], deadline=deadline)
+        assert outcomes[0].ok and outcomes[0].value == 4
+
+    def test_process_deadline_terminates_inflight_worker(self):
+        start = time.perf_counter()
+        outcomes = ProcessExecutor(n_jobs=2).map_tasks(
+            _slow_task, [10.0], deadline=Deadline(0.3)
+        )
+        assert time.perf_counter() - start < 5.0
+        assert outcomes[0].timed_out and outcomes[0].value is None
+        assert "deadline" in outcomes[0].error
+
+    def test_deadline_clamps_per_task_timeout(self):
+        # 0.25s remain of the deadline, so the 0.4s task is flagged even
+        # though its own 10s timeout was generous.
+        outcomes = SerialExecutor().map_tasks(
+            _slow_task, [0.4], timeout=10.0, deadline=Deadline(0.25)
+        )
+        assert outcomes[0].timed_out
+        assert outcomes[0].value == 0.4  # soft: value kept
 
     def test_get_executor_aliases(self):
         assert isinstance(get_executor(None), SerialExecutor)
@@ -235,6 +287,58 @@ class TestParallelTDaub:
         working = selector.evaluations_["ZeroModelForecaster"]
         assert max(broken.allocation_sizes) <= max(working.allocation_sizes)
         assert selector.best_pipeline_name_ == "ZeroModelForecaster"
+
+
+class _SlowFitForecaster(ZeroModelForecaster):
+    def fit(self, X, y=None):
+        time.sleep(0.15)
+        return super().fit(X, y)
+
+
+class TestTDaubBudget:
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_budget_bounds_ranking_on_every_backend(self, executor):
+        """A slow pipeline cannot stall a budgeted ranking round."""
+        series = _fixed_seed_series()
+        pipelines = [
+            _SlowFitForecaster(horizon=6),
+            ZeroModelForecaster(horizon=6),
+            DriftForecaster(horizon=6),
+        ]
+        start = time.perf_counter()
+        selector = TDaub(
+            pipelines=pipelines,
+            horizon=6,
+            min_allocation_size=30,
+            budget=0.5,
+            n_jobs=1,
+            executor=executor,
+        ).fit(series)
+        wall = time.perf_counter() - start
+        assert wall < 10.0  # unbudgeted: ~14 slow fits of 0.15s plus overhead
+        assert selector.budget_exhausted_
+        # A partial ranking still comes out, and a model is delivered.
+        assert len(selector.ranked_names_) == 3
+        assert selector.best_pipeline_ is not None
+
+    def test_deadline_skips_are_not_failures(self):
+        series = _fixed_seed_series()
+        selector = TDaub(
+            pipelines=[_SlowFitForecaster(horizon=6), ZeroModelForecaster(horizon=6)],
+            horizon=6,
+            min_allocation_size=30,
+            budget=0.2,
+        ).fit(series)
+        assert selector.budget_exhausted_
+        for evaluation in selector.evaluations_.values():
+            assert not evaluation.failed
+
+    def test_no_budget_reports_not_exhausted(self):
+        series = _fixed_seed_series()
+        selector = TDaub(
+            pipelines=[ZeroModelForecaster(horizon=6)], horizon=6, min_allocation_size=60
+        ).fit(series)
+        assert selector.budget_exhausted_ is False
 
 
 def _toy_datasets():

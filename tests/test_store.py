@@ -1,0 +1,358 @@
+"""Tests for the persistent evaluation store and the two-tier cache."""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core import TDaub
+from repro.exec import (
+    DiskStore,
+    EvaluationCache,
+    FitScoreResult,
+    ToolkitRunResult,
+    key_digest,
+)
+from repro.exec.cache import _array_fingerprint, _value_fingerprint
+from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
+
+
+class TestDiskStore:
+    def test_round_trip_fit_score_result(self, tmp_path):
+        store = DiskStore(tmp_path)
+        result = FitScoreResult(tag=4, score=-1.25, seconds=0.5, n_train=120, error="")
+        digest = key_digest(("some", "key", 1))
+        assert store.put(digest, result)
+        assert store.get(digest) == result
+        assert len(store) == 1
+
+    def test_round_trip_non_finite_score(self, tmp_path):
+        store = DiskStore(tmp_path)
+        result = FitScoreResult(
+            tag=0, score=-float("inf"), seconds=0.1, n_train=10, error="ValueError('x')"
+        )
+        store.put("a" * 40, result)
+        loaded = store.get("a" * 40)
+        assert loaded.score == -float("inf") and loaded.failed
+
+    def test_round_trip_toolkit_result_restores_tuple_tag(self, tmp_path):
+        store = DiskStore(tmp_path)
+        result = ToolkitRunResult(tag=("dataset", "toolkit"), smape=3.5, seconds=1.0)
+        store.put("b" * 40, result)
+        assert store.get("b" * 40) == result
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert DiskStore(tmp_path).get("c" * 40) is None
+
+    def test_unrepresentable_value_not_persisted(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert not store.put("d" * 40, object())
+        assert len(store) == 0
+
+    def test_schema_version_mismatch_evicts(self, tmp_path):
+        old = DiskStore(tmp_path, schema_version=1)
+        digest = "e" * 40
+        old.put(digest, FitScoreResult(tag=0, score=1.0, seconds=0.1, n_train=10))
+        path = old.path_for(digest)
+        assert path.exists()
+
+        new = DiskStore(tmp_path, schema_version=2)
+        assert new.get(digest) is None
+        assert not path.exists()  # evicted, not left to be misread again
+
+    def test_corrupt_entry_recovered(self, tmp_path):
+        store = DiskStore(tmp_path)
+        digest = "f" * 40
+        store.put(digest, FitScoreResult(tag=0, score=1.0, seconds=0.1, n_train=10))
+        path = store.path_for(digest)
+        path.write_text("{ truncated garbage", encoding="utf-8")
+
+        assert store.get(digest) is None
+        assert not path.exists()
+        # The slot is usable again after recovery.
+        store.put(digest, FitScoreResult(tag=0, score=2.0, seconds=0.1, n_train=10))
+        assert store.get(digest).score == 2.0
+
+    def test_wrong_json_shape_is_corrupt(self, tmp_path):
+        store = DiskStore(tmp_path)
+        path = store.path_for("9" * 40)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert store.get("9" * 40) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for index in range(3):
+            store.put(key_digest(("k", index)), FitScoreResult(0, 1.0, 0.1, 10))
+        store.clear()
+        assert len(store) == 0
+
+    def test_concurrent_writers_share_one_dir(self, tmp_path):
+        """Two processes hammering one cache_dir: no torn or lost records."""
+        ctx = multiprocessing.get_context()
+        workers = [
+            ctx.Process(target=_writer_process, args=(str(tmp_path), offset))
+            for offset in (0, 10)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+            assert worker.exitcode == 0
+        store = DiskStore(tmp_path)
+        # 20 distinct keys plus 5 contended ones both workers wrote.
+        for index in range(20):
+            loaded = store.get(key_digest(("distinct", index)))
+            assert loaded is not None and loaded.n_train == index
+        for index in range(5):
+            loaded = store.get(key_digest(("contended", index)))
+            assert loaded is not None and loaded.score == float(index)
+
+
+class TestTwoTierCache:
+    def _key(self, cache, n=20):
+        template = DriftForecaster(horizon=6)
+        train = np.arange(n, dtype=float).reshape(-1, 1)
+        test = np.arange(6, dtype=float).reshape(-1, 1)
+        return cache.make_key(template, train, test, 6)
+
+    def test_disk_tier_survives_the_instance(self, tmp_path):
+        first = EvaluationCache(cache_dir=tmp_path)
+        result = FitScoreResult(tag=0, score=-2.0, seconds=0.3, n_train=20)
+        first.put(self._key(first), result)
+
+        second = EvaluationCache(cache_dir=tmp_path)
+        assert second.get(self._key(second)) == result
+        stats = second.stats
+        assert stats.hits == 1 and stats.disk_hits == 1 and stats.misses == 0
+
+    def test_disk_hit_promoted_to_memory(self, tmp_path):
+        first = EvaluationCache(cache_dir=tmp_path)
+        first.put(self._key(first), FitScoreResult(0, 1.0, 0.1, 20))
+        second = EvaluationCache(cache_dir=tmp_path)
+        key = self._key(second)
+        second.get(key)
+        second.get(key)
+        stats = second.stats
+        assert stats.hits == 2 and stats.disk_hits == 1  # second hit was in-memory
+
+    def test_memory_eviction_keeps_persisted_records(self, tmp_path):
+        cache = EvaluationCache(max_entries=1, cache_dir=tmp_path)
+        keys = [self._key(cache, n=n) for n in (10, 11)]
+        cache.put(keys[0], FitScoreResult(0, 1.0, 0.1, 10))
+        cache.put(keys[1], FitScoreResult(1, 2.0, 0.1, 11))  # evicts keys[0] from memory
+        assert len(cache) == 1
+        hit = cache.get(keys[0])  # served by the disk tier
+        assert hit is not None and hit.score == 1.0
+        assert cache.stats.disk_hits == 1
+
+    def test_memory_only_cache_unchanged(self):
+        cache = EvaluationCache()
+        assert cache.store is None
+        key = self._key(cache)
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.disk_hits == 0
+
+
+class TestFingerprints:
+    def test_noncontiguous_view_hits_contiguous_entry(self):
+        """Satellite: equal content must hit regardless of memory layout."""
+        cache = EvaluationCache()
+        data = np.arange(80.0).reshape(-1, 1)
+        template = DriftForecaster(horizon=4)
+        test = np.arange(4.0).reshape(-1, 1)
+        view = data[::2]  # stride-2 view: same values, non-contiguous
+        assert not view.flags.c_contiguous
+        cache.put(cache.make_key(template, view, test, 4), "entry")
+        contiguous = np.ascontiguousarray(view)
+        assert cache.get(cache.make_key(template, contiguous, test, 4)) == "entry"
+
+    def test_contiguous_array_not_copied(self):
+        fingerprint = _array_fingerprint(np.arange(12.0).reshape(3, 4))
+        assert fingerprint[0] == "array" and fingerprint[1] == (3, 4)
+
+    def test_fortran_order_matches_c_order_content(self):
+        c_order = np.arange(12.0).reshape(3, 4)
+        f_order = np.asfortranarray(c_order)
+        assert _array_fingerprint(c_order) == _array_fingerprint(f_order)
+
+    def test_callable_fingerprint_is_process_independent(self):
+        """Satellite: no id() in the fingerprint, so scorers hit across runs."""
+        fingerprint = _value_fingerprint(_example_scorer)
+        assert fingerprint[0] == "callable"
+        assert fingerprint[1] == __name__
+        assert fingerprint[2] == "_example_scorer"
+        assert all(not isinstance(part, int) or part < 10_000 for part in fingerprint[3:]), (
+            "fingerprint must not embed an object id"
+        )
+        # Identical in a subprocess: the property that makes disk reuse work.
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        worker = ctx.Process(target=_fingerprint_in_subprocess, args=(queue,))
+        worker.start()
+        worker.join(timeout=30)
+        assert queue.get(timeout=5) == fingerprint
+
+    def test_distinct_functions_fingerprint_differently(self):
+        assert _value_fingerprint(_example_scorer) != _value_fingerprint(_other_scorer)
+
+    def test_bound_methods_include_instance_state(self):
+        """Two differently-configured scorer objects must not collide."""
+        light = _WeightedScorer(0.1)
+        heavy = _WeightedScorer(0.9)
+        assert _value_fingerprint(light.score) != _value_fingerprint(heavy.score)
+        assert _value_fingerprint(light.score) == _value_fingerprint(
+            _WeightedScorer(0.1).score
+        )
+
+    def test_callable_instance_fingerprint_is_content_based(self):
+        """A __call__-style scorer must not embed its memory address."""
+        first = _value_fingerprint(_CallableScorer(0.5))
+        assert first == _value_fingerprint(_CallableScorer(0.5))
+        assert first != _value_fingerprint(_CallableScorer(0.6))
+        assert "0x" not in repr(first)
+
+    def test_bound_method_of_plain_object_is_content_based(self):
+        fingerprint = _value_fingerprint(_PlainConfig(3).score)
+        assert fingerprint == _value_fingerprint(_PlainConfig(3).score)
+        assert fingerprint != _value_fingerprint(_PlainConfig(4).score)
+        assert "0x" not in repr(fingerprint)
+
+    def test_builtin_bound_to_module(self):
+        import math
+
+        assert _value_fingerprint(math.sin) == _value_fingerprint(math.sin)
+        assert _value_fingerprint(math.sin) != _value_fingerprint(math.cos)
+
+    def test_partials_include_arguments(self):
+        import functools
+
+        base = functools.partial(_example_scorer, None)
+        assert _value_fingerprint(base) == _value_fingerprint(
+            functools.partial(_example_scorer, None)
+        )
+        assert _value_fingerprint(base) != _value_fingerprint(
+            functools.partial(_example_scorer, None, flip=True)
+        )
+        assert _value_fingerprint(base) != _value_fingerprint(
+            functools.partial(_other_scorer, None)
+        )
+
+
+class TestTDaubPersistentCache:
+    def _series(self):
+        t = np.arange(240.0)
+        return 30.0 + 0.4 * t + 6.0 * np.sin(2 * np.pi * t / 12.0)
+
+    def _selector(self, cache_dir):
+        return TDaub(
+            pipelines=[ZeroModelForecaster(horizon=8), DriftForecaster(horizon=8)],
+            horizon=8,
+            min_allocation_size=40,
+            cache_dir=str(cache_dir),
+        )
+
+    def test_warm_rerun_served_from_disk_with_identical_ranking(self, tmp_path):
+        cold = self._selector(tmp_path).fit(self._series())
+        warm = self._selector(tmp_path).fit(self._series())
+
+        assert warm.ranked_names_ == cold.ranked_names_
+        assert {n: e.scores for n, e in warm.evaluations_.items()} == {
+            n: e.scores for n, e in cold.evaluations_.items()
+        }
+        assert warm.cache_stats_.misses == 0
+        assert warm.cache_stats_.disk_hits > 0
+
+    def test_in_task_failures_not_persisted(self, tmp_path):
+        """Environment-specific failures stay in-process, never on disk."""
+
+        class _Broken(ZeroModelForecaster):
+            def fit(self, X, y=None):
+                raise ImportError("optional dependency missing on this shard")
+
+        selector = TDaub(
+            pipelines=[_Broken(horizon=8), ZeroModelForecaster(horizon=8)],
+            horizon=8,
+            min_allocation_size=40,
+            cache_dir=str(tmp_path),
+        ).fit(self._series())
+        assert selector.evaluations_["_Broken"].failed
+        store = DiskStore(tmp_path)
+        assert len(store) > 0  # the healthy pipeline's results are persisted
+        for path in store.cache_dir.glob("*/*.json"):
+            record = json.loads(path.read_text(encoding="utf-8"))
+            assert record["payload"]["error"] == ""
+
+    def test_memoize_off_ignores_cache_dir(self, tmp_path):
+        selector = TDaub(
+            pipelines=[ZeroModelForecaster(horizon=8)],
+            horizon=8,
+            memoize=False,
+            cache_dir=str(tmp_path),
+        ).fit(self._series())
+        assert selector.cache_stats_ is None
+        assert len(DiskStore(tmp_path)) == 0
+
+
+class _CallableScorer:
+    """Scorer exposing __call__ with the default (address-bearing) repr."""
+
+    def __init__(self, weight: float):
+        self.weight = weight
+
+    def __call__(self, model, test):
+        return -self.weight
+
+
+class _PlainConfig:
+    """Attribute-configured object with the default repr."""
+
+    def __init__(self, level: int):
+        self.level = level
+
+    def score(self, model, test):
+        return -float(self.level)
+
+
+class _WeightedScorer:
+    """Configured scorer object with a content-based repr (the documented
+    requirement for bound-method scorers to be cacheable across runs)."""
+
+    def __init__(self, weight: float):
+        self.weight = weight
+
+    def __repr__(self):
+        return f"_WeightedScorer(weight={self.weight!r})"
+
+    def score(self, model, test):
+        return -self.weight
+
+
+def _example_scorer(model, test):
+    return 0.0
+
+
+def _other_scorer(model, test):
+    return 1.0
+
+
+def _fingerprint_in_subprocess(queue):
+    queue.put(_value_fingerprint(_example_scorer))
+
+
+def _writer_process(cache_dir: str, offset: int) -> None:
+    store = DiskStore(cache_dir)
+    for index in range(10):
+        key = key_digest(("distinct", offset + index))
+        store.put(
+            key, FitScoreResult(tag=offset + index, score=0.0, seconds=0.0, n_train=offset + index)
+        )
+    for index in range(5):  # both workers write these: last writer wins, atomically
+        store.put(
+            key_digest(("contended", index)),
+            FitScoreResult(tag=index, score=float(index), seconds=0.0, n_train=1),
+        )
