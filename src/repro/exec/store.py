@@ -1,0 +1,209 @@
+"""Disk tier of the evaluation cache: content-addressed persistent records.
+
+:class:`EvaluationCache` keeps its hot entries in memory, but a memory-only
+cache dies with the process — every benchmark invocation re-pays the full
+cost of evaluations an earlier run already computed.  Because each
+evaluation is a pure function of ``(pipeline parameters, data slice,
+horizon)``, its result can be persisted once and reused by any later
+process that lands on the same structural fingerprint.
+
+:class:`DiskStore` implements that persistent tier:
+
+- **Content addressing** — entries are named by a BLAKE2 digest of the
+  canonical serialization of the cache key (the nested tuples produced by
+  :func:`repro.exec.cache.EvaluationCache.make_key`), sharded into
+  two-character subdirectories so huge stores stay listable.
+- **Versioned schema** — every record carries ``schema``; reading a record
+  written by an incompatible version evicts it and reports a miss, so
+  stores survive library upgrades without manual cleanup.
+- **Atomic writes** — records are written to a temporary file in the same
+  directory and published with :func:`os.replace`, so concurrent writers
+  (benchmark shards pointing at one shared ``cache_dir``) never expose a
+  torn record to readers.
+- **Corrupt-entry recovery** — unreadable or truncated records (killed
+  writer on a filesystem without atomic rename, disk corruption) are
+  deleted on read and treated as misses rather than poisoning the run.
+
+Records are JSON documents; array-valued payloads are inlined as nested
+lists (the stored values are small score/timing records — large ``npz``
+blobs would hang off ``payload["npz"]`` by relative path if ever needed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Hashable
+
+__all__ = ["DiskStore", "key_digest", "atomic_write_text", "SCHEMA_VERSION"]
+
+#: Version stamp written into every record.  Bump whenever the key
+#: construction or the value encoding changes incompatibly: old records are
+#: then evicted on first read instead of being misinterpreted.
+SCHEMA_VERSION = 1
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via write-then-rename.
+
+    Concurrent readers either see the previous content or the full new
+    content, never a torn record; shared by the evaluation store and the
+    benchmark run manifests.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def key_digest(key: Hashable) -> str:
+    """Stable content address of one cache key.
+
+    Keys are nested tuples of primitives (strings, numbers, ``None``,
+    bytes) whose ``repr`` is deterministic across processes and runs, so a
+    digest of the ``repr`` is a valid cross-run address.  (This is exactly
+    why callable fingerprints must not include ``id(...)`` — see
+    ``repro.exec.cache._value_fingerprint``.)
+    """
+    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=20).hexdigest()
+
+
+def _encode_value(value: Any) -> tuple[str, Any] | None:
+    """Encode one cached value as a ``(kind, payload)`` JSON pair.
+
+    Returns ``None`` for values the store cannot represent; those stay in
+    the memory tier only.
+    """
+    from .tasks import FitScoreResult, ToolkitRunResult
+
+    if isinstance(value, FitScoreResult):
+        payload = dataclasses.asdict(value)
+        # Whether the producer run got the value from its own cache is not a
+        # property of the evaluation; records always persist a fresh result.
+        payload["from_cache"] = False
+        return ("fit_score_result", payload)
+    if isinstance(value, ToolkitRunResult):
+        return ("toolkit_run_result", dataclasses.asdict(value))
+    if isinstance(value, (str, int, float, bool, type(None), list, dict)):
+        return ("json", value)
+    return None
+
+
+def _decode_value(kind: str, payload: Any) -> Any:
+    """Inverse of :func:`_encode_value`; raises on unknown kinds."""
+    from .tasks import FitScoreResult, ToolkitRunResult
+
+    if kind in ("fit_score_result", "toolkit_run_result"):
+        payload = dict(payload)
+        # JSON has no tuples; restore the conventional tuple tags (e.g. the
+        # benchmark matrix's ``(dataset, toolkit)`` cell addresses).
+        if isinstance(payload.get("tag"), list):
+            payload["tag"] = tuple(payload["tag"])
+        cls = FitScoreResult if kind == "fit_score_result" else ToolkitRunResult
+        return cls(**payload)
+    if kind == "json":
+        return payload
+    raise ValueError(f"unknown record kind {kind!r}")
+
+
+class DiskStore:
+    """Content-addressed, crash-safe record store under one directory.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory of the store; created on first write.  Multiple
+        processes may share one directory — writes are atomic and
+        idempotent (two writers racing on one key publish identical
+        content).
+    schema_version:
+        Overridable for tests only; records carrying a different version
+        are evicted on read.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, schema_version: int = SCHEMA_VERSION):
+        self.cache_dir = Path(cache_dir)
+        self.schema_version = int(schema_version)
+
+    # -- addressing ------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        """Record path for one digest (sharded by the first two hex chars)."""
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    # -- record operations -----------------------------------------------------
+    def get(self, digest: str) -> Any | None:
+        """Return the stored value for ``digest`` or ``None`` on a miss.
+
+        Corrupt and schema-incompatible records are deleted and reported
+        as misses.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+            if record.get("schema") != self.schema_version:
+                raise ValueError(f"schema {record.get('schema')!r}")
+            return _decode_value(record["kind"], record["payload"])
+        except (ValueError, KeyError, TypeError):
+            self._evict(path)
+            return None
+
+    def put(self, digest: str, value: Any) -> bool:
+        """Persist one value; returns False when it cannot be represented."""
+        encoded = _encode_value(value)
+        if encoded is None:
+            return False
+        kind, payload = encoded
+        record = {"schema": self.schema_version, "key": digest, "kind": kind, "payload": payload}
+        try:
+            text = json.dumps(record)
+        except (TypeError, ValueError):
+            # A representable container holding an unrepresentable leaf
+            # (e.g. a FitScoreResult whose tag is an arbitrary object).
+            return False
+        try:
+            atomic_write_text(self.path_for(digest), text)
+        except OSError:
+            return False
+        return True
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every record (the directory itself is kept)."""
+        if not self.cache_dir.is_dir():
+            return
+        for path in self.cache_dir.glob("*/*.json"):
+            self._evict(path)
+
+    def __repr__(self) -> str:
+        return f"DiskStore(cache_dir={str(self.cache_dir)!r}, schema_version={self.schema_version})"
