@@ -18,13 +18,23 @@ from .experiment import (
     profile_univariate_datasets,
     sota_toolkit_factories,
 )
-from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, suite_fingerprint
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    ManifestMismatchError,
+    ManifestMismatchWarning,
+    RunManifest,
+    SharedManifest,
+    suite_fingerprint,
+    suite_spec,
+)
 from .results import BenchmarkResults, ToolkitRun
 from .runner import BenchmarkRunner
+from .sharding import ShardCoordinator, parse_shard_spec
 from .reporting import (
     render_average_rank_figure,
     render_detail_table,
     render_rank_histogram,
+    render_shard_provenance,
     render_training_time_figure,
 )
 
@@ -33,7 +43,13 @@ __all__ = [
     "BenchmarkResults",
     "ToolkitRun",
     "RunManifest",
+    "SharedManifest",
+    "ShardCoordinator",
+    "parse_shard_spec",
+    "ManifestMismatchError",
+    "ManifestMismatchWarning",
     "suite_fingerprint",
+    "suite_spec",
     "MANIFEST_SCHEMA_VERSION",
     "BenchmarkProfile",
     "FAST_PROFILE",
@@ -46,5 +62,6 @@ __all__ = [
     "render_detail_table",
     "render_average_rank_figure",
     "render_rank_histogram",
+    "render_shard_provenance",
     "render_training_time_figure",
 ]

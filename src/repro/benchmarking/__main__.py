@@ -1,4 +1,4 @@
-"""Command-line benchmark harness with resumable runs.
+"""Command-line benchmark harness with resumable and sharded runs.
 
 Runs a toolkit-by-dataset matrix, prints the paper-style detail table and
 (optionally) checkpoints progress into a run manifest so an interrupted or
@@ -8,21 +8,40 @@ repeated invocation skips finished cells::
     python -m repro.benchmarking --suite univariate --profile fast \\
         --manifest runs/uni.json --resume --cache-dir runs/eval-store --autoai
 
+**Sharded runs** split one matrix across concurrent workers that share a
+manifest (and optionally a ``--cache-dir``).  Each worker runs a disjoint
+slice; a final plain invocation with ``--resume`` merges the shared
+manifest into the full summary::
+
+    python -m repro.benchmarking --worker --shard 1/2 --manifest runs/m.json &
+    python -m repro.benchmarking --worker --shard 2/2 --manifest runs/m.json &
+    wait
+    python -m repro.benchmarking --manifest runs/m.json --resume
+
 ``--resume`` merges a previous manifest of the same suite; without it an
-existing manifest is overwritten.  ``--cache-dir`` points the AutoAI-TS
-cells (``--autoai``) at a persistent evaluation store shared across cells
-and invocations.  ``--json`` writes a machine-readable summary — used by CI
-to assert that a warm re-run is served from the persistent records.
+existing manifest is overwritten.  ``--resume-strict`` additionally *fails*
+(exit code 2) when no resumable manifest exists, instead of quietly
+re-paying the whole suite.  ``--cache-dir`` points the AutoAI-TS cells
+(``--autoai``) at a persistent evaluation store shared across cells and
+invocations.  ``--json`` writes a machine-readable summary — used by CI to
+assert that a warm re-run is served from the persistent records.
+
+Exit codes: 0 all cells succeeded within budget; 1 at least one cell
+permanently failed or went over budget (a failure summary is printed, so
+CI shard jobs can gate on it); 2 a strict resume found no usable manifest.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import socket
 import sys
 
 import numpy as np
 
+from ..exec.remote import RemoteExecutor
 from .experiment import (
     FAST_PROFILE,
     FULL_PROFILE,
@@ -31,18 +50,22 @@ from .experiment import (
     profile_univariate_datasets,
     sota_toolkit_factories,
 )
-from .reporting import render_detail_table
+from .manifest import ManifestMismatchError, SharedManifest
+from .reporting import render_detail_table, render_shard_provenance
 from .runner import BenchmarkRunner
+from .sharding import ShardCoordinator, parse_shard_spec
 
 __all__ = ["main"]
 
 
 def _tiny_suite() -> dict[str, np.ndarray]:
-    """Two tiny deterministic series: a smoke suite that runs in seconds."""
+    """Four tiny deterministic series: a smoke suite that runs in seconds."""
     t = np.arange(120.0)
     return {
         "tiny_trend": 10.0 + 0.5 * t + np.sin(t / 9.0),
         "tiny_seasonal": 50.0 + 8.0 * np.sin(2.0 * np.pi * t / 12.0) + 0.1 * t,
+        "tiny_damped": 30.0 + 5.0 * np.exp(-t / 80.0) * np.sin(t / 5.0),
+        "tiny_steps": 20.0 + np.floor(t / 30.0) * 4.0 + np.cos(t / 7.0),
     }
 
 
@@ -60,7 +83,7 @@ def _tiny_toolkits() -> dict:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.benchmarking",
-        description="Run a resumable AutoAI-TS benchmark matrix.",
+        description="Run a resumable, shardable AutoAI-TS benchmark matrix.",
     )
     parser.add_argument(
         "--suite",
@@ -84,6 +107,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="merge a previous manifest of the same suite instead of overwriting it",
     )
     parser.add_argument(
+        "--resume-strict",
+        action="store_true",
+        help="like --resume, but exit 2 when no resumable manifest exists "
+        "(suite mismatch, corrupt or missing file) instead of recomputing",
+    )
+    parser.add_argument(
+        "--worker",
+        action="store_true",
+        help="run as one shard worker of a multi-worker run (requires --shard)",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N (1-based); implies worker mode and "
+        "requires --manifest, which all N workers must share",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="identity recorded with this worker's cell claims "
+        "(default: shard-K/N@host:pid)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="persistent evaluation store for the AutoAI-TS cells",
@@ -100,17 +147,80 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, help="concurrent cells")
     parser.add_argument(
         "--executor",
-        choices=("serial", "threads", "processes"),
+        choices=("serial", "threads", "processes", "remote"),
         default=None,
         help="execution backend (default: serial, or processes when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="remote worker addresses for --executor remote "
+        "(each runs `python -m repro.exec.remote`)",
     )
     parser.add_argument("--json", default=None, help="write a JSON run summary here")
     parser.add_argument("--quiet", action="store_true", help="suppress per-cell logs")
     return parser
 
 
+def _resolve_executor(args):
+    """Executor knob from ``--executor``/``--workers``; raises ``ValueError``
+    with a user-facing message on a misconfiguration."""
+    from ..exceptions import InvalidParameterError
+
+    if args.workers:
+        if args.executor not in (None, "remote"):
+            raise ValueError(
+                f"--workers only applies to --executor remote, not "
+                f"--executor {args.executor}"
+            )
+        addresses = [part for part in args.workers.split(",") if part.strip()]
+        try:
+            return RemoteExecutor(addresses)
+        except (InvalidParameterError, ValueError) as exc:
+            raise ValueError(str(exc)) from exc
+    if args.executor == "remote":
+        try:
+            return RemoteExecutor.from_env()
+        except InvalidParameterError as exc:
+            raise ValueError(
+                f"{exc} (hint: pass --workers HOST:PORT,HOST:PORT)"
+            ) from exc
+    return args.executor
+
+
+def _failure_summary(results) -> list[str]:
+    """One line per cell that permanently failed or blew its budget."""
+    lines = []
+    for run in results.runs:
+        if run.failed or run.over_budget:
+            status = "over budget" if run.over_budget else "failed"
+            detail = f": {run.error}" if run.error else ""
+            lines.append(f"  {run.dataset} × {run.toolkit} [{status}]{detail}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard_spec(args.shard)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.manifest is None:
+            print("error: --shard requires --manifest (shared by all workers)", file=sys.stderr)
+            return 2
+    elif args.worker:
+        print("error: --worker requires --shard K/N", file=sys.stderr)
+        return 2
+    if (args.resume or args.resume_strict) and args.manifest is None:
+        # Silently ignoring the flag would be exactly the quiet full
+        # re-pay that --resume-strict exists to prevent.
+        print("error: --resume/--resume-strict require --manifest", file=sys.stderr)
+        return 2
 
     profile = FULL_PROFILE if args.profile == "full" else FAST_PROFILE
     if args.suite == "tiny":
@@ -133,29 +243,90 @@ def main(argv: list[str] | None = None) -> int:
             **toolkits,
         }
 
+    cells = None
+    worker_id = None
+    if shard is not None:
+        index, count = shard
+        coordinator = ShardCoordinator(datasets, toolkits, n_shards=count)
+        cells = coordinator.cells(index)
+        worker_id = args.worker_id or (
+            f"shard-{index + 1}/{count}@{socket.gethostname()}:{os.getpid()}"
+        )
+        if not args.quiet:
+            print(f"[benchmark] worker {worker_id}: {len(cells)} of "
+                  f"{len(coordinator.all_cells)} cells")
+
+    try:
+        executor = _resolve_executor(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     runner = BenchmarkRunner(
         horizon=args.horizon,
         max_train_seconds=args.max_train_seconds,
         n_jobs=args.jobs,
-        executor=args.executor,
+        executor=executor,
         manifest_path=args.manifest,
+        worker_id=worker_id,
         verbose=not args.quiet,
     )
-    results = runner.run(datasets, toolkits, resume=args.resume)
+    resume: bool | str = args.resume or args.resume_strict
+    if args.resume_strict:
+        resume = "strict"
+    if shard is not None and not resume:
+        # Shard workers always merge: overwriting the shared manifest from
+        # one worker would throw away every other worker's cells.
+        resume = True
+    try:
+        results = runner.run(datasets, toolkits, resume=resume, cells=cells)
+    except ManifestMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     title = f"Benchmark matrix ({args.suite} suite, horizon {args.horizon})"
+    if shard is not None:
+        title += f" — shard {shard[0] + 1}/{shard[1]}"
     print(render_detail_table(results, title))
 
+    provenance = {}
+    manifest = runner.last_manifest_
+    if manifest is not None:
+        if isinstance(manifest, SharedManifest):
+            sidecar = manifest
+        else:
+            # A merging (coordinator) invocation still reports which shard
+            # worker computed each cell, from the claim sidecar.
+            sidecar = SharedManifest(
+                manifest.path, manifest.fingerprint, worker="provenance-reader"
+            )
+        # Never-sharded runs have no sidecar; reading through the manifest
+        # lock would needlessly litter a plain run with a .lock file.
+        if sidecar.claims_path.exists():
+            reported = {(run.dataset, run.toolkit) for run in results.runs}
+            provenance = {
+                cell: worker
+                for cell, worker in sidecar.provenance().items()
+                if cell in reported
+            }
+            footnote = render_shard_provenance(provenance)
+            if footnote:
+                print(f"\n{footnote}")
+
+    failures = _failure_summary(results)
     summary = {
         "suite": args.suite,
         "horizon": args.horizon,
         "cells": len(results.runs),
         "from_manifest": results.from_cache_count(),
-        "failures": sum(1 for run in results.runs if run.failed),
+        "failures": len(failures),
         "datasets": results.dataset_names,
         "toolkits": results.toolkit_names,
         "manifest": args.manifest,
-        "resumed": bool(args.resume),
+        "resumed": bool(resume),
+        "shard": None if shard is None else f"{shard[0] + 1}/{shard[1]}",
+        "worker_id": worker_id,
+        "workers": sorted(set(provenance.values())) if provenance else [],
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -164,6 +335,11 @@ def main(argv: list[str] | None = None) -> int:
         f"\n{summary['cells']} cells, {summary['from_manifest']} from manifest, "
         f"{summary['failures']} failures"
     )
+    if failures:
+        print("Failed or over-budget cells:", file=sys.stderr)
+        for line in failures:
+            print(line, file=sys.stderr)
+        return 1
     return 0
 
 

@@ -12,12 +12,28 @@ finished cells and merges their recorded results.
 runner's split parameters plus the content fingerprints of every data set
 and the names of every toolkit.  A manifest whose fingerprint does not
 match the current invocation is stale (different data, horizon or toolkit
-set) and is discarded rather than merged, so resumed summaries can never
-mix results from two different experiments.
+set) and must not be merged, or resumed summaries could mix results from
+two different experiments.  A mismatch is never silent: the manifest also
+stores the human-readable suite *spec*, so the loader can name exactly
+which knobs diverged, warn loudly, and — in strict mode — refuse to
+continue instead of quietly re-paying the whole run.
 
-Writes go through the same atomic write-then-rename protocol as the
-evaluation store, so a manifest read after an interruption is always a
-valid prefix of the run.
+Manifests are written canonically (cells sorted by ``(dataset, toolkit)``,
+atomic write-then-rename), so two runs of the same suite — sharded or not,
+interrupted or not — converge on byte-identical manifest files.
+
+:class:`SharedManifest` extends the ledger to **concurrent shard workers**
+writing into one manifest file.  Two protocols make that safe:
+
+- *merge-under-lock*: a flush re-reads the on-disk manifest and writes the
+  union of its cells and ours while holding a :class:`~repro.exec.store.
+  FileLock`, so late flushes never clobber another worker's cells;
+- *cell claims*: before running a cell, a worker claims it in a sidecar
+  file (``<manifest>.claims.json``) under the same lock.  A cell that is
+  already recorded, or claimed by another worker, is not granted — so two
+  workers handed overlapping slices still never double-run a cell.  The
+  sidecar doubles as the run's provenance record: which worker computed
+  which cell.
 """
 
 from __future__ import annotations
@@ -26,31 +42,49 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
+import warnings
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
 from ..exec.cache import _array_fingerprint
-from ..exec.store import atomic_write_text
+from ..exec.store import FileLock, atomic_write_text
 from .results import ToolkitRun
 
-__all__ = ["RunManifest", "suite_fingerprint", "MANIFEST_SCHEMA_VERSION"]
+__all__ = [
+    "RunManifest",
+    "SharedManifest",
+    "ManifestMismatchError",
+    "ManifestMismatchWarning",
+    "suite_spec",
+    "suite_fingerprint",
+    "MANIFEST_SCHEMA_VERSION",
+]
 
 #: Bump when the manifest layout or the cell record fields change
 #: incompatibly; old manifests are then discarded instead of misread.
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
 
 
-def suite_fingerprint(
+class ManifestMismatchError(RuntimeError):
+    """Strict resume was requested but the manifest cannot be resumed."""
+
+
+class ManifestMismatchWarning(UserWarning):
+    """An existing manifest was discarded instead of resumed."""
+
+
+def suite_spec(
     datasets: Mapping[str, np.ndarray],
-    toolkits: Mapping[str, Any],
+    toolkits: Mapping[str, Any] | Iterable[str],
     horizon: int,
     train_fraction: float,
     evaluation_window: int | None,
     max_train_seconds: float | None = None,
-) -> str:
-    """Content fingerprint of one benchmark suite.
+) -> dict:
+    """JSON-able description of one benchmark suite.
 
     Covers everything that determines a cell's result: the split knobs, the
     per-run training budget (a raised budget must re-measure cells the old
@@ -59,21 +93,90 @@ def suite_fingerprint(
     *implementations* are not fingerprinted — rerunning a suite after a
     code change reuses recorded cells, exactly like the evaluation store
     reuses pipeline fits; delete the manifest to force a re-measure.
+
+    The spec is stored inside the manifest so a later invocation that does
+    not match can report *which* knob diverged, not just that one did.
     """
-    spec = (
-        "suite",
-        MANIFEST_SCHEMA_VERSION,
-        int(horizon),
-        float(train_fraction),
-        None if evaluation_window is None else int(evaluation_window),
-        None if max_train_seconds is None else float(max_train_seconds),
-        tuple(
-            (name, _array_fingerprint(np.asarray(data, dtype=float)))
-            for name, data in sorted(datasets.items())
-        ),
-        tuple(sorted(toolkits)),
+    dataset_digests = {}
+    for name in sorted(datasets):
+        kind, shape, dtype, digest = _array_fingerprint(
+            np.asarray(datasets[name], dtype=float)
+        )
+        dataset_digests[name] = f"{digest}:{dtype}:{'x'.join(map(str, shape))}"
+    return {
+        "horizon": int(horizon),
+        "train_fraction": float(train_fraction),
+        "evaluation_window": None if evaluation_window is None else int(evaluation_window),
+        "max_train_seconds": None if max_train_seconds is None else float(max_train_seconds),
+        "datasets": dataset_digests,
+        "toolkits": sorted(toolkits),
+    }
+
+
+def fingerprint_of_spec(spec: Mapping[str, Any]) -> str:
+    """Digest of a canonical serialization of one suite spec."""
+    canonical = json.dumps(
+        {"schema": MANIFEST_SCHEMA_VERSION, **spec}, sort_keys=True, separators=(",", ":")
     )
-    return hashlib.blake2b(repr(spec).encode("utf-8"), digest_size=20).hexdigest()
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=20).hexdigest()
+
+
+def suite_fingerprint(
+    datasets: Mapping[str, np.ndarray],
+    toolkits: Mapping[str, Any] | Iterable[str],
+    horizon: int,
+    train_fraction: float,
+    evaluation_window: int | None,
+    max_train_seconds: float | None = None,
+) -> str:
+    """Content fingerprint of one benchmark suite (see :func:`suite_spec`)."""
+    return fingerprint_of_spec(
+        suite_spec(
+            datasets,
+            toolkits,
+            horizon,
+            train_fraction,
+            evaluation_window,
+            max_train_seconds,
+        )
+    )
+
+
+def _describe_spec_mismatch(ours: Mapping[str, Any] | None, theirs: Any) -> str:
+    """Name the knobs on which two suite specs diverge."""
+    if not isinstance(theirs, Mapping) or ours is None:
+        return "the stored manifest does not carry a comparable suite spec"
+    differences = []
+    for knob in ("horizon", "train_fraction", "evaluation_window", "max_train_seconds"):
+        if ours.get(knob) != theirs.get(knob):
+            differences.append(
+                f"{knob}: manifest={theirs.get(knob)!r} current={ours.get(knob)!r}"
+            )
+    ours_data = ours.get("datasets", {}) or {}
+    theirs_data = theirs.get("datasets", {}) or {}
+    if ours_data != theirs_data:
+        added = sorted(set(ours_data) - set(theirs_data))
+        removed = sorted(set(theirs_data) - set(ours_data))
+        changed = sorted(
+            name
+            for name in set(ours_data) & set(theirs_data)
+            if ours_data[name] != theirs_data[name]
+        )
+        parts = []
+        if added:
+            parts.append(f"added {added}")
+        if removed:
+            parts.append(f"removed {removed}")
+        if changed:
+            parts.append(f"content changed for {changed}")
+        differences.append("datasets: " + "; ".join(parts))
+    if list(ours.get("toolkits", [])) != list(theirs.get("toolkits", [])):
+        differences.append(
+            f"toolkits: manifest={theirs.get('toolkits')!r} current={ours.get('toolkits')!r}"
+        )
+    if not differences:
+        return "suite specs differ in a way the comparison could not localize"
+    return "; ".join(differences)
 
 
 class RunManifest:
@@ -86,42 +189,84 @@ class RunManifest:
     fingerprint:
         Suite fingerprint of the current invocation; loaded cells are only
         trusted when the stored fingerprint matches.
+    spec:
+        The JSON-able suite spec behind the fingerprint (see
+        :func:`suite_spec`).  Stored in the manifest so a mismatching later
+        invocation can name the knobs that diverged.
     """
 
-    def __init__(self, path: str | os.PathLike, fingerprint: str):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fingerprint: str,
+        spec: Mapping[str, Any] | None = None,
+    ):
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.spec = dict(spec) if spec is not None else None
         self._cells: dict[tuple[str, str], ToolkitRun] = {}
         self.resumed = False
 
     # -- loading ---------------------------------------------------------------
-    def load(self) -> bool:
+    def load(self, strict: bool = False) -> bool:
         """Merge cells recorded by a previous run of the same suite.
 
         Returns True when an existing, fingerprint-matching manifest was
-        merged.  A corrupt or mismatching manifest is ignored (and will be
-        overwritten on the next flush) — never raised.
+        merged.  A corrupt, schema-incompatible or fingerprint-mismatching
+        manifest is *not* merged — and never silently: a loud
+        :class:`ManifestMismatchWarning` names the mismatched knobs (the
+        whole suite would otherwise be quietly re-paid in full).  With
+        ``strict=True`` the warning becomes a :class:`ManifestMismatchError`
+        so CI resume jobs fail fast instead of re-running for hours.
         """
+        problem = None
+        cells: Any = []
         try:
             record = json.loads(self.path.read_text(encoding="utf-8"))
             if not isinstance(record, dict):
                 raise ValueError("manifest is not an object")
             if record.get("schema") != MANIFEST_SCHEMA_VERSION:
-                return False
-            if record.get("fingerprint") != self.fingerprint:
-                return False
-            cells = record.get("cells", [])
-        except (OSError, ValueError, TypeError):
+                problem = (
+                    f"manifest schema {record.get('schema')!r} does not match the "
+                    f"current schema {MANIFEST_SCHEMA_VERSION}"
+                )
+            elif record.get("fingerprint") != self.fingerprint:
+                problem = (
+                    "suite fingerprint mismatch — "
+                    + _describe_spec_mismatch(self.spec, record.get("suite"))
+                )
+            else:
+                cells = record.get("cells", [])
+        except FileNotFoundError:
+            if strict:
+                raise ManifestMismatchError(
+                    f"strict resume: no manifest exists at {self.path}"
+                ) from None
             return False
+        except (OSError, ValueError, TypeError) as exc:
+            problem = f"manifest is unreadable ({exc})"
+        if problem is not None:
+            message = (
+                f"Not resuming from {self.path}: {problem}. Every cell of this "
+                "suite will be recomputed (the stale manifest is overwritten on "
+                "the next checkpoint)."
+            )
+            if strict:
+                raise ManifestMismatchError(message)
+            warnings.warn(message, ManifestMismatchWarning, stacklevel=2)
+            return False
+        self._merge_payloads(cells, from_cache=True)
+        self.resumed = bool(self._cells)
+        return self.resumed
+
+    def _merge_payloads(self, cells: Any, from_cache: bool) -> None:
         for payload in cells:
             try:
                 run = ToolkitRun(**payload)
             except TypeError:
                 continue
-            run.from_cache = True
-            self._cells[(run.dataset, run.toolkit)] = run
-        self.resumed = bool(self._cells)
-        return self.resumed
+            run.from_cache = from_cache
+            self._cells.setdefault((run.dataset, run.toolkit), run)
 
     # -- cell access -----------------------------------------------------------
     def get(self, dataset: str, toolkit: str) -> ToolkitRun | None:
@@ -135,11 +280,11 @@ class RunManifest:
         return len(self._cells)
 
     # -- persistence -----------------------------------------------------------
-    def flush(self) -> None:
-        """Atomically write the manifest with every cell recorded so far."""
+    def _record_document(self) -> dict:
+        """The canonical JSON document: cells sorted, provenance stripped."""
         cells = []
-        for run in self._cells.values():
-            payload = dataclasses.asdict(run)
+        for key in sorted(self._cells):
+            payload = dataclasses.asdict(self._cells[key])
             # Cache provenance is per-invocation state, not a suite fact.
             payload["from_cache"] = False
             cells.append(payload)
@@ -148,10 +293,172 @@ class RunManifest:
             "fingerprint": self.fingerprint,
             "cells": cells,
         }
-        atomic_write_text(self.path, json.dumps(record, indent=1))
+        if self.spec is not None:
+            record["suite"] = self.spec
+        return record
+
+    def flush(self) -> None:
+        """Atomically write the manifest with every cell recorded so far."""
+        atomic_write_text(self.path, json.dumps(self._record_document(), indent=1))
 
     def __repr__(self) -> str:
         return (
-            f"RunManifest(path={str(self.path)!r}, cells={len(self._cells)}, "
-            f"resumed={self.resumed})"
+            f"{type(self).__name__}(path={str(self.path)!r}, "
+            f"cells={len(self._cells)}, resumed={self.resumed})"
         )
+
+
+class SharedManifest(RunManifest):
+    """A run manifest safely shared by concurrent shard workers.
+
+    Adds two lock-guarded protocols on top of :class:`RunManifest` (see the
+    module docstring): merge-under-lock flushes and the cell-claim sidecar.
+
+    Parameters
+    ----------
+    worker:
+        Identity recorded with this worker's claims (e.g. ``"shard-1/2"``).
+    lock_timeout:
+        Seconds to wait for the manifest lock before failing loudly.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fingerprint: str,
+        spec: Mapping[str, Any] | None = None,
+        worker: str = "",
+        lock_timeout: float = 60.0,
+    ):
+        super().__init__(path, fingerprint, spec)
+        self.worker = worker or f"worker-{os.getpid()}"
+        self._granted: set[tuple[str, str]] = set()
+        self._lock = FileLock(self.path.with_name(self.path.name + ".lock"), timeout=lock_timeout)
+
+    @property
+    def claims_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".claims.json")
+
+    # -- loading ---------------------------------------------------------------
+    def load(self, strict: bool = False) -> bool:
+        with self._lock:
+            return super().load(strict=strict)
+
+    def _merge_from_disk(self) -> None:
+        """Fold cells another worker flushed meanwhile into our ledger.
+
+        Our own cells win: claims make cell ownership disjoint, so a
+        conflict can only be a cell we recomputed after a stale claim was
+        cleared — the freshest measurement is ours.
+        """
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+            if (
+                isinstance(record, dict)
+                and record.get("schema") == MANIFEST_SCHEMA_VERSION
+                and record.get("fingerprint") == self.fingerprint
+            ):
+                self._merge_payloads(record.get("cells", []), from_cache=True)
+        except (OSError, ValueError, TypeError):
+            return
+
+    # -- claims ----------------------------------------------------------------
+    def _read_claims(self) -> dict:
+        try:
+            record = json.loads(self.claims_path.read_text(encoding="utf-8"))
+            if (
+                isinstance(record, dict)
+                and record.get("fingerprint") == self.fingerprint
+                and isinstance(record.get("claims"), list)
+            ):
+                return record
+        except (OSError, ValueError, TypeError):
+            pass
+        return {"fingerprint": self.fingerprint, "claims": []}
+
+    def _write_claims(self, record: dict) -> None:
+        atomic_write_text(self.claims_path, json.dumps(record, indent=1))
+
+    def claim(self, tags: Iterable[tuple[str, str]]) -> set[tuple[str, str]]:
+        """Atomically claim the subset of ``tags`` nobody else owns.
+
+        Under the manifest lock: merge the on-disk manifest (cells finished
+        by other workers since our last look), read the claim sidecar, and
+        grant every requested cell that is neither recorded nor already
+        claimed.  *Every* persisted claim counts as taken — worker names
+        are labels, not credentials, so two workers accidentally launched
+        with the same ``--worker-id`` still cannot double-run a cell (only
+        this manifest object's own earlier grants are re-grantable).
+        Granted claims are persisted before the lock is released, so no two
+        workers can ever both believe they own a cell.
+        """
+        requested = list(tags)
+        with self._lock:
+            self._merge_from_disk()
+            record = self._read_claims()
+            taken = {
+                (claim["dataset"], claim["toolkit"]) for claim in record["claims"]
+            } - self._granted
+            granted: set[tuple[str, str]] = set()
+            for dataset, toolkit in requested:
+                key = (dataset, toolkit)
+                if key in self._cells or key in taken or key in granted:
+                    continue
+                granted.add(key)
+                if key not in self._granted:
+                    record["claims"].append(
+                        {
+                            "dataset": dataset,
+                            "toolkit": toolkit,
+                            "worker": self.worker,
+                            "claimed_at": time.time(),
+                        }
+                    )
+            self._granted |= granted
+            if granted:
+                self._write_claims(record)
+        return granted
+
+    def release_claims(self, tags: Iterable[tuple[str, str]]) -> None:
+        """Give up claims for cells this worker will not compute after all.
+
+        Only claims this manifest object was granted are releasable —
+        matching worker *names* would let a same-named peer's live claims
+        be yanked out from under it.
+        """
+        to_release = set(tags) & self._granted
+        if not to_release:
+            return
+        with self._lock:
+            record = self._read_claims()
+            record["claims"] = [
+                claim
+                for claim in record["claims"]
+                if not (
+                    claim.get("worker") == self.worker
+                    and (claim["dataset"], claim["toolkit"]) in to_release
+                )
+            ]
+            self._write_claims(record)
+        self._granted -= to_release
+
+    def provenance(self) -> dict[tuple[str, str], str]:
+        """``{(dataset, toolkit): worker}`` from the claim sidecar.
+
+        Provenance lives in the sidecar, *not* in the manifest itself, so a
+        sharded run's manifest stays byte-identical to a single-process
+        run's.
+        """
+        with self._lock:
+            record = self._read_claims()
+        return {
+            (claim["dataset"], claim["toolkit"]): str(claim.get("worker", ""))
+            for claim in record["claims"]
+        }
+
+    # -- persistence -----------------------------------------------------------
+    def flush(self) -> None:
+        """Merge-then-write under the manifest lock (never clobbers peers)."""
+        with self._lock:
+            self._merge_from_disk()
+            atomic_write_text(self.path, json.dumps(self._record_document(), indent=1))

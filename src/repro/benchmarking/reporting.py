@@ -9,7 +9,7 @@ paper-comparable artifacts without a plotting dependency.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..metrics.ranking import RankSummary, rank_histogram
 from .results import BenchmarkResults
@@ -18,6 +18,7 @@ __all__ = [
     "render_detail_table",
     "render_average_rank_figure",
     "render_rank_histogram",
+    "render_shard_provenance",
     "render_training_time_figure",
 ]
 
@@ -67,6 +68,34 @@ def render_detail_table(
     if footnotes:
         lines.append("")
         lines.extend(footnotes)
+    return "\n".join(lines)
+
+
+def render_shard_provenance(
+    provenance: Mapping[tuple[str, str], str], max_cells_listed: int = 4
+) -> str:
+    """Footnotes naming which shard worker computed which matrix cells.
+
+    ``provenance`` is the claim-sidecar mapping produced by
+    :meth:`~repro.benchmarking.manifest.SharedManifest.provenance`.  The
+    detail tables themselves stay provenance-free (a sharded run and a
+    single-process run render byte-identically); these footnotes are the
+    place the split is reported.
+    """
+    if not provenance:
+        return ""
+    by_worker: dict[str, list[tuple[str, str]]] = {}
+    for cell in sorted(provenance):
+        by_worker.setdefault(provenance[cell], []).append(cell)
+    lines = [
+        f"Shard provenance ({len(provenance)} cells, {len(by_worker)} workers):"
+    ]
+    for worker in sorted(by_worker):
+        cells = by_worker[worker]
+        listed = ", ".join(f"{dataset}×{toolkit}" for dataset, toolkit in cells[:max_cells_listed])
+        if len(cells) > max_cells_listed:
+            listed += f", … {len(cells) - max_cells_listed} more"
+        lines.append(f"  {worker}: {len(cells)} cells ({listed})")
     return "\n".join(lines)
 
 

@@ -30,7 +30,7 @@ from .._validation import as_2d_array, check_fraction, check_horizon
 from ..core.base import BaseForecaster
 from ..exec.executor import BaseExecutor, SerialExecutor, get_executor, resolve_n_jobs
 from ..exec.tasks import ToolkitRunTask, run_toolkit_task
-from .manifest import RunManifest, suite_fingerprint
+from .manifest import RunManifest, SharedManifest, fingerprint_of_spec, suite_spec
 from .results import BenchmarkResults, ToolkitRun
 
 __all__ = ["BenchmarkRunner"]
@@ -64,7 +64,17 @@ class BenchmarkRunner:
         there (per cell on the serial backend, per dataset row on parallel
         backends) and — unless ``run(..., resume=False)`` — a previous
         manifest of the *same suite* is merged, skipping its cells.  A
-        manifest whose suite fingerprint does not match is discarded.
+        manifest whose suite fingerprint does not match is discarded with a
+        loud :class:`~repro.benchmarking.manifest.ManifestMismatchWarning`
+        naming the mismatched knobs (``run(..., resume="strict")`` raises
+        instead).
+    worker_id:
+        When set, this runner behaves as one **shard worker** of a
+        multi-worker run: the manifest becomes a lock-guarded
+        :class:`~repro.benchmarking.manifest.SharedManifest`, pending cells
+        are *claimed* before they run (so concurrent workers never
+        double-run or clobber a cell), and cells another worker owns are
+        left out of this invocation's results.  Requires ``manifest_path``.
     verbose:
         Print one line per (dataset, toolkit) pair as the matrix runs.
     """
@@ -78,6 +88,7 @@ class BenchmarkRunner:
         n_jobs: int | None = None,
         executor: str | BaseExecutor | None = None,
         manifest_path: str | None = None,
+        worker_id: str | None = None,
         verbose: bool = False,
     ):
         self.horizon = check_horizon(horizon)
@@ -87,6 +98,14 @@ class BenchmarkRunner:
         self.n_jobs = n_jobs
         self.executor = executor
         self.manifest_path = manifest_path
+        self.worker_id = worker_id
+        if worker_id is not None and manifest_path is None:
+            from ..exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                "worker_id requires manifest_path: shard workers coordinate "
+                "through a shared manifest"
+            )
         self.verbose = verbose
 
     def _log(self, message: str) -> None:
@@ -120,19 +139,32 @@ class BenchmarkRunner:
         self,
         datasets: Mapping[str, np.ndarray],
         toolkits: Mapping[str, ToolkitFactory],
-        resume: bool = True,
+        resume: bool | str = True,
+        cells: Iterable[tuple[str, str]] | None = None,
     ) -> BenchmarkResults:
         """Run every toolkit on every data set and collect the results.
 
         With ``manifest_path`` set and ``resume`` true (the default), cells
         recorded by a previous run of the same suite are merged instead of
         recomputed; ``resume=False`` recomputes everything and overwrites
-        the manifest.
+        the manifest; ``resume="strict"`` raises
+        :class:`~repro.benchmarking.manifest.ManifestMismatchError` when no
+        resumable manifest exists, so an interrupted run is never silently
+        re-paid in full.
+
+        ``cells`` restricts the invocation to a subset of ``(dataset,
+        toolkit)`` pairs — the shard worker entry point (see
+        :class:`~repro.benchmarking.sharding.ShardCoordinator`).  The suite
+        fingerprint always covers the *full* matrix, so every shard of one
+        suite shares one manifest.
         """
+        cell_filter = None if cells is None else set(cells)
         tasks: list[ToolkitRunTask] = []
         for dataset_name, data in datasets.items():
             train, test = self.split(data)
             for toolkit_name, factory in toolkits.items():
+                if cell_filter is not None and (dataset_name, toolkit_name) not in cell_filter:
+                    continue
                 tasks.append(
                     ToolkitRunTask(
                         tag=(dataset_name, toolkit_name),
@@ -146,7 +178,7 @@ class BenchmarkRunner:
 
         manifest: RunManifest | None = None
         if self.manifest_path is not None:
-            fingerprint = suite_fingerprint(
+            spec = suite_spec(
                 datasets,
                 toolkits,
                 horizon=self.horizon,
@@ -154,12 +186,22 @@ class BenchmarkRunner:
                 evaluation_window=self.evaluation_window,
                 max_train_seconds=self.max_train_seconds,
             )
-            manifest = RunManifest(self.manifest_path, fingerprint)
-            if resume and manifest.load():
+            fingerprint = fingerprint_of_spec(spec)
+            if self.worker_id is not None:
+                manifest = SharedManifest(
+                    self.manifest_path, fingerprint, spec, worker=self.worker_id
+                )
+            else:
+                manifest = RunManifest(self.manifest_path, fingerprint, spec)
+            if resume and manifest.load(strict=resume == "strict"):
                 self._log(
                     f"resuming from {self.manifest_path}: "
                     f"{len(manifest)} of {len(tasks)} cells already recorded"
                 )
+
+        #: The manifest object of the latest ``run`` (None without
+        #: ``manifest_path``) — lets callers read provenance afterwards.
+        self.last_manifest_ = manifest
 
         completed: dict[tuple, ToolkitRun] = {}
         pending: list[ToolkitRunTask] = []
@@ -173,23 +215,51 @@ class BenchmarkRunner:
             else:
                 pending.append(task)
 
+        granted: set[tuple[str, str]] = set()
+        if isinstance(manifest, SharedManifest) and pending:
+            granted = manifest.claim([task.tag for task in pending])
+            owned_elsewhere = [task for task in pending if task.tag not in granted]
+            pending = [task for task in pending if task.tag in granted]
+            for task in owned_elsewhere:
+                self._log(
+                    f"{task.tag[0]:<28s} {task.tag[1]:<18s} "
+                    "claimed by another worker; skipping"
+                )
+
         engine = get_executor(self.executor, self.n_jobs)
-        for chunk in self._checkpoint_chunks(pending, manifest, engine):
-            outcomes = engine.map_tasks(
-                run_toolkit_task, chunk, timeout=self.max_train_seconds
-            )
-            for task, outcome in zip(chunk, outcomes):
-                self._log_outcome(task, outcome)
-                run = self._to_run(task, outcome)
-                completed[task.tag] = run
-                if manifest is not None and not self._transient_failure(outcome):
-                    manifest.record(run)
-            if manifest is not None:
-                manifest.flush()
+        try:
+            for chunk in self._checkpoint_chunks(pending, manifest, engine):
+                outcomes = engine.map_tasks(
+                    run_toolkit_task, chunk, timeout=self.max_train_seconds
+                )
+                for task, outcome in zip(chunk, outcomes):
+                    self._log_outcome(task, outcome)
+                    run = self._to_run(task, outcome)
+                    completed[task.tag] = run
+                    if manifest is not None and not self._transient_failure(outcome):
+                        manifest.record(run)
+                if manifest is not None:
+                    manifest.flush()
+        finally:
+            # Claims for cells that ended without a manifest record — a
+            # transient executor failure (deliberately kept out of the
+            # manifest so a resume retries it) or an exception/interrupt
+            # before the cell ran — must not stay held, or no later worker
+            # could ever recompute those cells.  (A SIGKILLed worker still
+            # leaves its claims behind; see the stale-claim ROADMAP item.)
+            if isinstance(manifest, SharedManifest) and granted:
+                unrecorded = [tag for tag in granted if manifest.get(*tag) is None]
+                if unrecorded:
+                    manifest.release_claims(unrecorded)
+                    self._log(
+                        f"released {len(unrecorded)} claims for cells left "
+                        "unrecorded (retryable by any worker)"
+                    )
 
         results = BenchmarkResults(horizon=self.horizon)
         for task in tasks:
-            results.add(completed[task.tag])
+            if task.tag in completed:
+                results.add(completed[task.tag])
         return results
 
     def _checkpoint_chunks(

@@ -8,6 +8,10 @@ scoring phase and the full benchmark matrix — funnels through this package:
   ``ProcessExecutor`` behind one order-preserving ``map_tasks`` interface,
   with real per-task timeout enforcement in the process backend and
   cooperative batch-wide :class:`Deadline` enforcement on every backend.
+- :mod:`repro.exec.remote` — ``RemoteExecutor`` / ``WorkerServer``, the
+  same ``map_tasks`` contract fanned out across machines over a socket
+  protocol (length-prefixed pickle frames, forwarded timeouts/deadlines,
+  worker-death detection).
 - :mod:`repro.exec.cache` — :class:`EvaluationCache`, a two-tier memo of
   ``(pipeline params, data fingerprints, horizon) -> score``: an in-memory
   LRU front tier plus an optional persistent tier under ``cache_dir``.
@@ -28,7 +32,8 @@ from .executor import (
     get_executor,
     resolve_n_jobs,
 )
-from .store import SCHEMA_VERSION, DiskStore, key_digest
+from .remote import RemoteExecutor, WorkerServer
+from .store import SCHEMA_VERSION, DiskStore, FileLock, key_digest
 from .tasks import (
     FitScoreResult,
     FitScoreTask,
@@ -47,10 +52,13 @@ __all__ = [
     "Deadline",
     "get_executor",
     "resolve_n_jobs",
+    "RemoteExecutor",
+    "WorkerServer",
     "EvaluationCache",
     "CacheStats",
     "estimator_fingerprint",
     "DiskStore",
+    "FileLock",
     "key_digest",
     "SCHEMA_VERSION",
     "FitScoreTask",

@@ -107,13 +107,23 @@ def _deadline_outcome(index: int, deadline: "Deadline") -> TaskOutcome:
 
 @dataclass
 class TaskOutcome:
-    """Result envelope for one task: value or error, plus timing."""
+    """Result envelope for one task: value or error, plus timing.
+
+    ``timeout_downgraded`` marks a task submitted to a backend that
+    normally *enforces* its timeout (processes, remote) but that had to run
+    inline in the calling process — e.g. an unpicklable task under the
+    ``spawn`` start method — where the timeout is only soft: an overrun is
+    flagged ``timed_out`` but the task ran to completion and kept its
+    value.  Callers relying on hard preemption can detect the downgrade
+    instead of silently trusting a budget that was never enforceable.
+    """
 
     index: int
     value: Any = None
     error: str = ""
     seconds: float = 0.0
     timed_out: bool = False
+    timeout_downgraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -295,6 +305,9 @@ class ProcessExecutor(BaseExecutor):
                     child_conn.close()
                     outcome = _run_inline(fn, task, timeout, deadline)
                     outcome.index = index
+                    # Inline execution cannot preempt: the enforced per-task
+                    # budget silently became a soft one, so say so.
+                    outcome.timeout_downgraded = timeout is not None
                     outcomes[index] = outcome
                     continue
                 child_conn.close()
@@ -383,19 +396,27 @@ def get_executor(spec: str | BaseExecutor | None, n_jobs: int | None = None) -> 
     ``None`` picks ``SerialExecutor`` when the resolved ``n_jobs`` is one and
     ``ProcessExecutor`` otherwise, so ``n_jobs=4`` alone is enough to go
     parallel.  Aliases: ``serial``/``sequential``, ``threads``/``thread``,
-    ``processes``/``process``.
+    ``processes``/``process``, and ``remote`` (worker addresses taken from
+    the ``REPRO_REMOTE_WORKERS`` environment variable; construct a
+    :class:`~repro.exec.remote.RemoteExecutor` directly to pass them
+    explicitly).
     """
     if isinstance(spec, BaseExecutor):
         return spec
     if spec is None:
         return ProcessExecutor(n_jobs) if resolve_n_jobs(n_jobs) > 1 else SerialExecutor()
     key = str(spec).strip().lower()
+    if key == "remote":
+        from .remote import RemoteExecutor
+
+        return RemoteExecutor.from_env()
     if key not in _EXECUTOR_ALIASES:
         from ..exceptions import InvalidParameterError
 
         raise InvalidParameterError(
             f"Unknown executor {spec!r}. Choose one of "
-            f"{sorted(set(_EXECUTOR_ALIASES))} or pass a BaseExecutor instance."
+            f"{sorted(set(_EXECUTOR_ALIASES) | {'remote'})} or pass a "
+            "BaseExecutor instance."
         )
     backend = _EXECUTOR_ALIASES[key]
     if backend is SerialExecutor:

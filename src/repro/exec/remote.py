@@ -1,0 +1,575 @@
+"""Remote execution backend: ``map_tasks`` over a socket protocol.
+
+The serial/thread/process backends scale to one host.  This module extends
+the same order-preserving ``map_tasks(fn, tasks)`` contract across machines
+so T-Daub waves and benchmark-matrix shards can fan out over a small fleet
+without any caller changes:
+
+``WorkerServer`` (``python -m repro.exec.remote --port 7071``)
+    Runs on each worker host.  Accepts connections, receives task frames
+    and executes each task through a local :class:`ProcessExecutor` — which
+    is what gives the remote backend the process backend's semantics for
+    free: *enforced* per-task timeouts (the overrunning worker process is
+    terminated) and worker-death detection (a crashed task process becomes
+    an error outcome, never a hang).
+``RemoteExecutor``
+    The client side.  Distributes tasks over the configured workers (one
+    dispatcher thread per worker connection, pulling from a shared queue),
+    forwards the per-task ``timeout`` and the remaining batch
+    :class:`Deadline` inside each frame, and reassembles outcomes in
+    submission order.  A worker host that dies mid-task surfaces as a
+    ``TaskOutcome`` with an error — exactly like a dead process-pool worker
+    — and its remaining capacity is redistributed to the surviving workers.
+
+Wire format
+-----------
+Frames are length-prefixed pickles: a 4-byte big-endian payload size
+followed by the pickled message tuple.  Client to server::
+
+    ("task", index, fn, task, timeout, deadline_remaining)
+    ("bye",)
+
+Server to client::
+
+    ("outcome", index, value, error, seconds, timed_out, timeout_downgraded)
+
+Tasks whose function/payload cannot be pickled (e.g. closures) cannot
+cross the wire; they fall back to inline execution in the calling process
+with the timeout downgraded to soft — recorded via
+``TaskOutcome.timeout_downgraded``, mirroring the process backend's spawn
+fallback.
+
+Security: pickle deserialization executes arbitrary code, so a worker
+server must only listen on trusted networks.  An optional shared
+``authkey`` adds an HMAC challenge-response handshake (same scheme as
+``multiprocessing.connection``) so a stray client cannot submit work, but
+it does not encrypt traffic.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from .executor import (
+    BaseExecutor,
+    Deadline,
+    ProcessExecutor,
+    TaskOutcome,
+    _deadline_outcome,
+    _run_inline,
+    resolve_n_jobs,
+)
+
+__all__ = ["RemoteExecutor", "WorkerServer", "parse_worker_address"]
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Frames beyond this size are refused before allocation: a corrupt or
+#: malicious header must not make a peer allocate gigabytes.
+_MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_CHALLENGE_PREFIX = b"#REPRO-CHALLENGE#"
+_CHALLENGE_BYTES = 20
+
+
+class ProtocolError(ConnectionError):
+    """A peer violated the framing or handshake protocol."""
+
+
+class LaneConnectError(ConnectionError):
+    """A dispatch lane could not (re)connect — no task reached the worker."""
+
+
+def parse_worker_address(spec: str | tuple) -> tuple[str, int]:
+    """Normalize ``"host:port"`` (or an ``(host, port)`` pair) to a tuple.
+
+    Bracketed IPv6 literals (``[::1]:7071``) are unbracketed, since
+    ``socket.create_connection`` wants the bare address.
+    """
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    text = str(spec).strip()
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"worker address {spec!r} is not of the form 'host:port'")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    return host, int(port)
+
+
+# -- framing -------------------------------------------------------------------
+def _send_frame(sock: socket.socket, message: tuple) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple:
+    header = _recv_exactly(sock, _FRAME_HEADER.size)
+    (size,) = _FRAME_HEADER.unpack(header)
+    if size > _MAX_FRAME_BYTES:
+        raise ProtocolError(f"refusing {size}-byte frame (cap {_MAX_FRAME_BYTES})")
+    return pickle.loads(_recv_exactly(sock, size))
+
+
+# -- authentication ------------------------------------------------------------
+# The handshake exchanges RAW length-prefixed byte strings, never pickles: a
+# pre-authentication ``pickle.loads`` would hand arbitrary code execution to
+# exactly the stray clients the authkey exists to shut out.
+_WELCOME = b"#REPRO-WELCOME#"
+_DENIED = b"#REPRO-DENIED#"
+_MAX_HANDSHAKE_BYTES = 256
+
+
+def _send_raw(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_raw(sock: socket.socket) -> bytes:
+    header = _recv_exactly(sock, _FRAME_HEADER.size)
+    (size,) = _FRAME_HEADER.unpack(header)
+    if size > _MAX_HANDSHAKE_BYTES:
+        raise ProtocolError(f"refusing {size}-byte handshake frame")
+    return _recv_exactly(sock, size)
+
+
+def _digest(authkey: bytes, challenge: bytes) -> bytes:
+    return hmac.new(authkey, challenge, "sha256").digest()
+
+
+def _server_authenticate(sock: socket.socket, authkey: bytes | None) -> bool:
+    if authkey is None:
+        return True
+    challenge = _CHALLENGE_PREFIX + os.urandom(_CHALLENGE_BYTES)
+    _send_raw(sock, challenge)
+    response = _recv_raw(sock)
+    accepted = hmac.compare_digest(response, _digest(authkey, challenge))
+    _send_raw(sock, _WELCOME if accepted else _DENIED)
+    return accepted
+
+
+def _client_authenticate(sock: socket.socket, authkey: bytes | None) -> None:
+    if authkey is None:
+        return
+    challenge = _recv_raw(sock)
+    if not challenge.startswith(_CHALLENGE_PREFIX):
+        raise ProtocolError("worker did not issue an authentication challenge")
+    _send_raw(sock, _digest(authkey, challenge))
+    if _recv_raw(sock) != _WELCOME:
+        raise ProtocolError("worker rejected the authentication key")
+
+
+# -- server --------------------------------------------------------------------
+class WorkerServer:
+    """One worker host's task server (see the module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` picks a free port (``.address`` reports
+        the bound one — handy for tests).
+    n_jobs:
+        Cap on concurrent task processes across all connections.  Each
+        connection carries one task at a time, so a client saturates a
+        4-slot worker by opening four lanes to it (listing its address
+        four times in ``RemoteExecutor(workers=...)``); connections beyond
+        the cap queue at the semaphore.
+    authkey:
+        Optional shared secret for the HMAC handshake.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_jobs: int | None = None,
+        start_method: str | None = None,
+        authkey: bytes | None = None,
+    ):
+        self._engine = ProcessExecutor(n_jobs=1, start_method=start_method)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._slots = threading.BoundedSemaphore(self.n_jobs)
+        self.authkey = authkey
+        self._listener = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._closed = threading.Event()
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`close`; one thread per client."""
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if not _server_authenticate(conn, self.authkey):
+                    return
+                while True:
+                    message = _recv_frame(conn)
+                    if message[0] != "task":
+                        break  # ("bye",) or anything unknown ends the session
+                    _, index, fn, task, timeout, deadline_remaining = message
+                    outcome = self._run_task(fn, task, timeout, deadline_remaining)
+                    try:
+                        _send_frame(conn, _encode_outcome(index, outcome))
+                    except (TypeError, pickle.PicklingError, AttributeError):
+                        _send_frame(
+                            conn,
+                            (
+                                "outcome",
+                                index,
+                                None,
+                                "task result could not be returned over the wire",
+                                outcome.seconds,
+                                False,
+                                False,
+                            ),
+                        )
+        except (ConnectionError, EOFError, OSError, pickle.UnpicklingError):
+            return  # client went away or spoke garbage; drop the session
+
+    def _run_task(
+        self,
+        fn: Callable[[Any], Any],
+        task: Any,
+        timeout: float | None,
+        deadline_remaining: float | None,
+    ) -> TaskOutcome:
+        # The deadline starts ticking at receipt, and the per-task timeout
+        # is charged for time spent queued at the slot semaphore too: the
+        # client's dead-worker backstop waits ~timeout past the send, so a
+        # busy worker whose reply is merely queued must still answer within
+        # the budget rather than be misdiagnosed as dead.
+        deadline = None if deadline_remaining is None else Deadline(deadline_remaining)
+        wait_start = time.monotonic()
+        # The local process engine supplies enforced timeouts, in-flight
+        # deadline termination and dead-task-process reporting; the
+        # semaphore caps concurrent task processes across connections.
+        with self._slots:
+            if timeout is not None:
+                timeout = max(timeout - (time.monotonic() - wait_start), 0.0)
+            return self._engine.map_tasks(fn, [task], timeout=timeout, deadline=deadline)[0]
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"WorkerServer(address={host}:{port}, n_jobs={self.n_jobs})"
+
+
+def _encode_outcome(index: int, outcome: TaskOutcome) -> tuple:
+    return (
+        "outcome",
+        index,
+        outcome.value,
+        outcome.error,
+        outcome.seconds,
+        outcome.timed_out,
+        outcome.timeout_downgraded,
+    )
+
+
+# -- client --------------------------------------------------------------------
+class _WorkerLane:
+    """One dispatch lane: a dedicated connection to one worker address."""
+
+    def __init__(self, address: tuple[str, int], executor: "RemoteExecutor"):
+        self.address = address
+        self.executor = executor
+        self.sock: socket.socket | None = None
+
+    def connect(self) -> None:
+        self.sock = socket.create_connection(
+            self.address, timeout=self.executor.connect_timeout
+        )
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Keepalive bounds the wait on a host that died without sending
+        # FIN/RST (power loss, partition): without it, an unbudgeted recv
+        # (timeout=None, no deadline) would hang forever.
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for option, value in (("TCP_KEEPIDLE", 60), ("TCP_KEEPINTVL", 10), ("TCP_KEEPCNT", 6)):
+            if hasattr(socket, option):
+                self.sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+        _client_authenticate(self.sock, self.executor.authkey)
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                _send_frame(self.sock, ("bye",))
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def run_task(
+        self,
+        fn: Callable[[Any], Any],
+        index: int,
+        task: Any,
+        timeout: float | None,
+        deadline: Deadline | None,
+    ) -> TaskOutcome:
+        """Ship one task and wait for its outcome (or the lane's death)."""
+        remaining = None if deadline is None else max(deadline.remaining(), 0.0)
+        try:
+            frame = pickle.dumps(
+                ("task", index, fn, task, timeout, remaining),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except (TypeError, pickle.PicklingError, AttributeError):
+            # The task cannot cross the wire at all (closure, bound local
+            # state): run it here, with the timeout downgraded to soft.
+            outcome = _run_inline(fn, task, timeout, deadline)
+            outcome.index = index
+            outcome.timeout_downgraded = timeout is not None
+            return outcome
+        if self.sock is None:
+            try:
+                self.connect()
+            except (ConnectionError, OSError) as exc:
+                # Distinguish "never reached a worker" from an in-flight
+                # death: the caller can safely hand the task to another lane.
+                raise LaneConnectError(str(exc)) from exc
+        # Backstop wait: the server replies at the enforced timeout /
+        # deadline, so a silence much longer than that means the worker
+        # host (not just its task process) is gone.
+        budget = deadline.clamp(timeout) if deadline is not None else timeout
+        self.sock.settimeout(
+            None if budget is None else budget + self.executor.reply_grace
+        )
+        try:
+            self.sock.sendall(_FRAME_HEADER.pack(len(frame)) + frame)
+        except (ConnectionError, OSError) as exc:
+            # sendall raised, so the frame is incomplete: the worker cannot
+            # have parsed (let alone run) the task — safe to hand elsewhere.
+            raise LaneConnectError(f"send failed: {exc}") from exc
+        kind, reply_index, value, error, seconds, timed_out, downgraded = _recv_frame(
+            self.sock
+        )
+        if kind != "outcome" or reply_index != index:
+            raise ProtocolError(f"unexpected reply {kind!r} for task {index}")
+        return TaskOutcome(
+            index=index,
+            value=value,
+            error=error,
+            seconds=seconds,
+            timed_out=timed_out,
+            timeout_downgraded=downgraded,
+        )
+
+
+class RemoteExecutor(BaseExecutor):
+    """Fan tasks out to :class:`WorkerServer` hosts over sockets.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses as ``"host:port"`` strings (or ``(host, port)``
+        pairs).  Listing an address twice opens two dispatch lanes to it,
+        which is the way to saturate a worker running with ``n_jobs > 1``.
+    authkey:
+        Shared secret for the HMAC handshake; must match the servers'.
+    connect_timeout:
+        Seconds to wait for the TCP connect per worker.
+    reply_grace:
+        Extra seconds past the enforced per-task budget to wait for the
+        worker's reply before declaring the worker host dead.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Sequence[str | tuple],
+        authkey: bytes | None = None,
+        connect_timeout: float = 10.0,
+        reply_grace: float = 15.0,
+    ):
+        if not workers:
+            from ..exceptions import InvalidParameterError
+
+            raise InvalidParameterError("RemoteExecutor needs at least one worker address")
+        self.workers = [parse_worker_address(spec) for spec in workers]
+        self.authkey = authkey
+        self.connect_timeout = float(connect_timeout)
+        self.reply_grace = float(reply_grace)
+
+    @classmethod
+    def from_env(cls, variable: str = "REPRO_REMOTE_WORKERS") -> "RemoteExecutor":
+        """Build from a comma-separated ``host:port`` list in the environment."""
+        value = os.environ.get(variable, "").strip()
+        if not value:
+            from ..exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"executor='remote' needs worker addresses: set {variable} to a "
+                "comma-separated host:port list or construct RemoteExecutor directly"
+            )
+        return cls([part for part in value.split(",") if part.strip()])
+
+    def map_tasks(self, fn, tasks, timeout=None, deadline=None):
+        if not tasks:
+            return []
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        queue: deque[tuple[int, Any]] = deque(enumerate(tasks))
+        queue_lock = threading.Lock()
+
+        def drain(lane: _WorkerLane) -> None:
+            # A lane that loses its worker stops pulling; surviving lanes
+            # absorb the remaining queue.  Only a task that was *in flight*
+            # pays for the death (an error outcome, like a dead process-pool
+            # worker); a task its lane never managed to ship is requeued.
+            while True:
+                with queue_lock:
+                    if not queue:
+                        break
+                    index, task = queue.popleft()
+                if deadline is not None and deadline.expired:
+                    outcomes[index] = _deadline_outcome(index, deadline)
+                    continue
+                try:
+                    outcome = lane.run_task(fn, index, task, timeout, deadline)
+                    outcome.index = index
+                    outcomes[index] = outcome
+                except LaneConnectError:
+                    lane.close()
+                    with queue_lock:
+                        queue.appendleft((index, task))
+                    return
+                except (ConnectionError, OSError, EOFError, pickle.UnpicklingError) as exc:
+                    lane.close()
+                    outcomes[index] = self._dead_worker_outcome(index, lane, repr(exc))
+                    return
+            lane.close()
+
+        lanes = [_WorkerLane(address, self) for address in self.workers]
+        threads = [
+            threading.Thread(target=drain, args=(lane,), daemon=True) for lane in lanes
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Tasks may still be queued here: a lane whose connect blocked can
+        # requeue its task *after* every surviving lane observed an empty
+        # queue and exited.  Sweep the leftovers serially with fresh lanes —
+        # only when no worker can be reached at all does a task become a
+        # dead-worker outcome instead of ever being silently lost.
+        while queue:
+            index, task = queue.popleft()
+            if deadline is not None and deadline.expired:
+                outcomes[index] = _deadline_outcome(index, deadline)
+                continue
+            outcome = None
+            for address in self.workers:
+                lane = _WorkerLane(address, self)
+                try:
+                    outcome = lane.run_task(fn, index, task, timeout, deadline)
+                    outcome.index = index
+                    break
+                except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+                    continue
+                finally:
+                    lane.close()
+            outcomes[index] = outcome or self._dead_worker_outcome(
+                index, lanes[-1], "every worker lane died before the task ran"
+            )
+        # Belt: no slot may stay None (a task must always have an outcome).
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:
+                outcomes[index] = self._dead_worker_outcome(
+                    index, lanes[-1], "every worker lane died before the task ran"
+                )
+        return outcomes
+
+    @staticmethod
+    def _dead_worker_outcome(index: int, lane: _WorkerLane, detail: str) -> TaskOutcome:
+        host, port = lane.address
+        return TaskOutcome(
+            index=index,
+            error=f"remote worker {host}:{port} died: {detail}",
+        )
+
+    def __repr__(self) -> str:
+        addresses = ",".join(f"{host}:{port}" for host, port in self.workers)
+        return f"{type(self).__name__}(workers=[{addresses}])"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.exec.remote``: run a worker server until killed."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.remote",
+        description="Serve map_tasks work for RemoteExecutor clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument("--port", type=int, default=7071, help="listen port (0 = any)")
+    parser.add_argument("--jobs", type=int, default=None, help="concurrent task processes")
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="shared secret for the HMAC handshake (or set REPRO_REMOTE_AUTHKEY)",
+    )
+    args = parser.parse_args(argv)
+    authkey = args.authkey or os.environ.get("REPRO_REMOTE_AUTHKEY")
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        n_jobs=args.jobs,
+        authkey=authkey.encode("utf-8") if authkey else None,
+    )
+    host, port = server.address
+    print(f"[worker] serving on {host}:{port} (pid {os.getpid()})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

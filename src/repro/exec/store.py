@@ -36,10 +36,22 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Hashable
 
-__all__ = ["DiskStore", "key_digest", "atomic_write_text", "SCHEMA_VERSION"]
+try:  # POSIX advisory locks; Windows falls back to the mkdir spin-lock.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = [
+    "DiskStore",
+    "FileLock",
+    "key_digest",
+    "atomic_write_text",
+    "SCHEMA_VERSION",
+]
 
 #: Version stamp written into every record.  Bump whenever the key
 #: construction or the value encoding changes incompatibly: old records are
@@ -66,6 +78,94 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+class FileLock:
+    """Advisory inter-process lock guarding a shared file's read-modify-write.
+
+    Atomic write-then-rename keeps individual writes safe, but a *merge*
+    (read the current content, fold in new cells, write the union) needs
+    mutual exclusion or two concurrent writers lose each other's updates.
+    Benchmark shard workers sharing one run manifest serialize their merges
+    through this lock.
+
+    On POSIX the lock is ``flock`` on a sidecar file, which conflicts
+    between file descriptors (so two threads of one process exclude each
+    other too) and is released by the kernel when the holder dies — a
+    crashed worker never wedges the others.  Where ``fcntl`` is missing the
+    lock falls back to an atomic ``mkdir`` spin-lock.
+
+    Acquisition polls with a timeout instead of blocking forever so a
+    stuck peer surfaces as a loud ``TimeoutError`` rather than a hang.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        timeout: float = 30.0,
+        poll_interval: float = 0.02,
+    ):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self._fd: int | None = None
+        self._held_dir = False
+
+    def acquire(self) -> None:
+        if self._fd is not None or self._held_dir:
+            raise RuntimeError(f"lock {self.path} is already held (not reentrant)")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                return
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not acquire {self.path} within {self.timeout:g}s; "
+                    "another worker holds it (or, with the mkdir fallback, "
+                    "died holding it — delete the lock directory to recover)"
+                )
+            time.sleep(self.poll_interval)
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        try:  # pragma: no cover - non-POSIX platforms
+            os.mkdir(f"{self.path}.d")
+        except FileExistsError:  # pragma: no cover
+            return False
+        self._held_dir = True  # pragma: no cover
+        return True  # pragma: no cover
+
+    def release(self) -> None:
+        if self._fd is not None:
+            fd, self._fd = self._fd, None
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        elif self._held_dir:  # pragma: no cover - non-POSIX platforms
+            self._held_dir = False
+            try:
+                os.rmdir(f"{self.path}.d")
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        held = self._fd is not None or self._held_dir
+        return f"FileLock(path={str(self.path)!r}, held={held})"
 
 
 def key_digest(key: Hashable) -> str:

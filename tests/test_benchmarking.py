@@ -1,6 +1,7 @@
 """Tests for the benchmark runner, result containers and report rendering."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -9,14 +10,20 @@ from repro.benchmarking import (
     BenchmarkRunner,
     FAST_PROFILE,
     FULL_PROFILE,
+    ManifestMismatchError,
+    ManifestMismatchWarning,
     RunManifest,
+    ShardCoordinator,
+    SharedManifest,
     autoai_toolkit_factories,
     internal_pipeline_factories,
+    parse_shard_spec,
     profile_multivariate_datasets,
     profile_univariate_datasets,
     render_average_rank_figure,
     render_detail_table,
     render_rank_histogram,
+    render_shard_provenance,
     sota_toolkit_factories,
     suite_fingerprint,
 )
@@ -256,6 +263,357 @@ class TestResumableRuns:
         assert not mismatched.load()
 
 
+class TestStrictResume:
+    def test_missing_manifest_raises(self, tmp_path):
+        runner = BenchmarkRunner(horizon=6, manifest_path=str(tmp_path / "absent.json"))
+        with pytest.raises(ManifestMismatchError, match="no manifest exists"):
+            runner.run(_toy_datasets(), _toy_toolkits(), resume="strict")
+
+    def test_suite_mismatch_raises_and_names_the_knob(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        with pytest.raises(ManifestMismatchError, match="horizon"):
+            BenchmarkRunner(horizon=12, manifest_path=manifest_path).run(
+                _toy_datasets(), _toy_toolkits(), resume="strict"
+            )
+
+    def test_non_strict_mismatch_warns_with_the_knob_named(self, tmp_path):
+        """Regression: a stale manifest must never be discarded silently."""
+        manifest_path = str(tmp_path / "manifest.json")
+        BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        with pytest.warns(ManifestMismatchWarning, match="horizon"):
+            results = BenchmarkRunner(horizon=12, manifest_path=manifest_path).run(
+                _toy_datasets(), _toy_toolkits()
+            )
+        assert results.from_cache_count() == 0
+
+    def test_toolkit_set_change_named_in_warning(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+            _toy_datasets(), _toy_toolkits()
+        )
+        with pytest.warns(ManifestMismatchWarning, match="toolkits"):
+            BenchmarkRunner(horizon=6, manifest_path=manifest_path).run(
+                _toy_datasets(), {"Zero": _toy_toolkits()["Zero"]}
+            )
+
+    def test_matching_strict_resume_succeeds(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        runner = BenchmarkRunner(horizon=6, manifest_path=manifest_path)
+        runner.run(_toy_datasets(), _toy_toolkits())
+        resumed = runner.run(_toy_datasets(), _toy_toolkits(), resume="strict")
+        assert resumed.from_cache_count() == len(resumed.runs)
+
+
+class TestShardCoordinator:
+    def test_partition_is_disjoint_and_exhaustive(self):
+        coordinator = ShardCoordinator(_toy_datasets(), _toy_toolkits(), n_shards=3)
+        shards = [coordinator.cells(i) for i in range(3)]
+        flattened = [cell for shard in shards for cell in shard]
+        assert len(flattened) == len(set(flattened)) == len(coordinator.all_cells)
+        assert set(flattened) == set(coordinator.all_cells)
+
+    def test_round_robin_balances_cells(self):
+        datasets = {f"d{i}": np.arange(50.0) for i in range(5)}
+        coordinator = ShardCoordinator(datasets, _toy_toolkits(), n_shards=3)
+        sizes = [len(coordinator.cells(i)) for i in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+        # Consecutive cells of one dataset land on different shards.
+        first = coordinator.cells(0)
+        assert ("d0", "Zero") in first and ("d0", "Drift") not in first
+
+    def test_surplus_shards_get_empty_slices(self):
+        coordinator = ShardCoordinator({"only": np.arange(40.0)}, {"Zero": None}, n_shards=4)
+        assert coordinator.cells(0) == [("only", "Zero")]
+        assert coordinator.cells(3) == []
+
+    def test_parse_shard_spec(self):
+        assert parse_shard_spec("1/2") == (0, 2)
+        assert parse_shard_spec("4/4") == (3, 4)
+        for bad in ("0/2", "3/2", "x/2", "1", "1/2/3"):
+            with pytest.raises(ValueError):
+                parse_shard_spec(bad)
+
+    def test_describe_and_invalid_index(self):
+        coordinator = ShardCoordinator(_toy_datasets(), _toy_toolkits(), n_shards=2)
+        assert "shard 1/2" in coordinator.describe()
+        with pytest.raises(ValueError):
+            coordinator.cells(2)
+
+
+class TestSharedManifestProtocol:
+    def test_claims_are_disjoint_under_contention(self, tmp_path):
+        path = tmp_path / "m.json"
+        alpha = SharedManifest(path, "fp", worker="alpha")
+        beta = SharedManifest(path, "fp", worker="beta")
+        cells = [("d1", "t1"), ("d1", "t2"), ("d2", "t1")]
+        got_alpha = alpha.claim(cells)
+        got_beta = beta.claim(cells)
+        assert got_alpha == set(cells)
+        assert got_beta == set()
+
+    def test_same_worker_name_cannot_double_claim(self, tmp_path):
+        """Worker names are labels, not credentials: a second worker
+        accidentally launched with the same --worker-id must be denied."""
+        path = tmp_path / "m.json"
+        first = SharedManifest(path, "fp", worker="nodeA")
+        second = SharedManifest(path, "fp", worker="nodeA")
+        assert first.claim([("d1", "t1")]) == {("d1", "t1")}
+        assert second.claim([("d1", "t1")]) == set()
+        # The object that holds the grant can re-claim it (idempotent).
+        assert first.claim([("d1", "t1")]) == {("d1", "t1")}
+
+    def test_recorded_cells_are_not_claimable(self, tmp_path):
+        path = tmp_path / "m.json"
+        alpha = SharedManifest(path, "fp", worker="alpha")
+        alpha.record(ToolkitRun("t1", "d1", smape=1.0, train_seconds=0.1))
+        alpha.flush()
+        beta = SharedManifest(path, "fp", worker="beta")
+        assert beta.claim([("d1", "t1"), ("d1", "t2")]) == {("d1", "t2")}
+
+    def test_release_claims_frees_cells(self, tmp_path):
+        path = tmp_path / "m.json"
+        alpha = SharedManifest(path, "fp", worker="alpha")
+        alpha.claim([("d1", "t1")])
+        alpha.release_claims([("d1", "t1")])
+        beta = SharedManifest(path, "fp", worker="beta")
+        assert beta.claim([("d1", "t1")]) == {("d1", "t1")}
+
+    def test_flush_merges_instead_of_clobbering(self, tmp_path):
+        path = tmp_path / "m.json"
+        alpha = SharedManifest(path, "fp", worker="alpha")
+        beta = SharedManifest(path, "fp", worker="beta")
+        alpha.record(ToolkitRun("t1", "d1", smape=1.0, train_seconds=0.1))
+        beta.record(ToolkitRun("t2", "d1", smape=2.0, train_seconds=0.2))
+        alpha.flush()
+        beta.flush()  # must not lose alpha's cell
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert len(record["cells"]) == 2
+
+    def test_provenance_reports_claim_owners(self, tmp_path):
+        path = tmp_path / "m.json"
+        alpha = SharedManifest(path, "fp", worker="alpha")
+        alpha.claim([("d1", "t1"), ("d2", "t1")])
+        beta = SharedManifest(path, "fp", worker="beta")
+        beta.claim([("d1", "t2")])
+        provenance = beta.provenance()
+        assert provenance[("d1", "t1")] == "alpha"
+        assert provenance[("d1", "t2")] == "beta"
+        footnote = render_shard_provenance(provenance)
+        assert "alpha: 2 cells" in footnote and "beta: 1 cells" in footnote
+
+    def test_manifest_stays_byte_identical_to_unsharded(self, tmp_path):
+        """Provenance lives in the sidecar; the manifest must not differ."""
+        plain_path = tmp_path / "plain.json"
+        shared_path = tmp_path / "shared.json"
+        run = ToolkitRun("t1", "d1", smape=1.5, train_seconds=0.25)
+        plain = RunManifest(plain_path, "fp", spec={"horizon": 6})
+        plain.record(run)
+        plain.flush()
+        shared = SharedManifest(shared_path, "fp", spec={"horizon": 6}, worker="alpha")
+        shared.claim([("d1", "t1")])
+        shared.record(run)
+        shared.flush()
+        assert plain_path.read_bytes() == shared_path.read_bytes()
+
+
+class _CountingForecaster(ZeroModelForecaster):
+    """Forecaster that logs every fit as ``(toolkit label, dataset marker)``.
+
+    The dataset is identified by the first training value, which the shard
+    tests make unique per dataset — giving a cross-thread execution ledger
+    without the task needing to know its matrix cell.
+    """
+
+    executions: list = []
+    _lock = threading.Lock()
+
+    def __init__(self, label: str = "", horizon: int = 1):
+        super().__init__(horizon=horizon)
+        self.label = label
+
+    def fit(self, X, y=None):
+        marker = float(np.asarray(X, dtype=float).reshape(len(X), -1)[0, 0])
+        with self._lock:
+            _CountingForecaster.executions.append((self.label, marker))
+        return super().fit(X, y)
+
+
+def _marked_datasets():
+    """Three series whose first values are unique dataset markers."""
+    t = np.arange(120.0)
+    return {
+        "alpha": 100.0 + 0.5 * t,
+        "beta": 200.0 + np.sin(t / 9.0),
+        "gamma": 300.0 + 0.1 * t + np.cos(t / 5.0),
+    }
+
+
+_MARKERS = {100.0: "alpha", 200.0: "beta", 301.0: "gamma"}
+
+
+def _counting_toolkits():
+    return {
+        "Zero": lambda horizon: _CountingForecaster(label="Zero", horizon=horizon),
+        "Count": lambda horizon: _CountingForecaster(label="Count", horizon=horizon),
+    }
+
+
+def _execution_ledger() -> dict:
+    ledger: dict = {}
+    for label, marker in _CountingForecaster.executions:
+        cell = (_MARKERS[marker], label)
+        ledger[cell] = ledger.get(cell, 0) + 1
+    return ledger
+
+
+def _normalized_manifest(path) -> dict:
+    """Manifest document with the wall-clock measurements zeroed.
+
+    Train seconds are measurements of *this machine right now*, not facts
+    of the suite, so byte-level comparisons of two runs normalize them.
+    """
+    record = json.loads(open(path, encoding="utf-8").read())
+    for cell in record.get("cells", []):
+        cell["train_seconds"] = 0.0
+    return record
+
+
+class TestShardedExecution:
+    def _run_worker(self, manifest_path, cells, worker_id, errors):
+        try:
+            runner = BenchmarkRunner(
+                horizon=6, manifest_path=str(manifest_path), worker_id=worker_id
+            )
+            runner.run(_marked_datasets(), _counting_toolkits(), cells=cells)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test body
+            errors.append(exc)
+
+    def test_two_concurrent_workers_cover_the_matrix_exactly_once(self, tmp_path):
+        """Acceptance: no lost cells, no double-run cells, identical summary."""
+        single = BenchmarkRunner(
+            horizon=6, manifest_path=str(tmp_path / "single.json")
+        ).run(_marked_datasets(), _counting_toolkits())
+        _CountingForecaster.executions.clear()
+
+        manifest_path = tmp_path / "sharded.json"
+        coordinator = ShardCoordinator(_marked_datasets(), _counting_toolkits(), 2)
+        errors: list = []
+        workers = [
+            threading.Thread(
+                target=self._run_worker,
+                args=(manifest_path, coordinator.cells(i), f"shard-{i + 1}/2", errors),
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+
+        # Every cell ran exactly once, across both workers.
+        ledger = _execution_ledger()
+        assert set(ledger) == set(coordinator.all_cells)
+        assert all(count == 1 for count in ledger.values())
+
+        # The merge invocation is served entirely from the shared manifest
+        # and reproduces the single-process summary.
+        merged = BenchmarkRunner(horizon=6, manifest_path=str(manifest_path)).run(
+            _marked_datasets(), _counting_toolkits()
+        )
+        assert merged.from_cache_count() == len(merged.runs) == 6
+        assert _summary_view(merged) == _summary_view(single)
+        assert merged.smape_table() == single.smape_table()
+
+        # And the merged manifest is the single-process manifest, byte for
+        # byte, once the wall-clock measurements are normalized.
+        sharded_doc = _normalized_manifest(manifest_path)
+        single_doc = _normalized_manifest(tmp_path / "single.json")
+        assert sharded_doc == single_doc
+
+    def test_overlapping_workers_never_double_run(self, tmp_path):
+        """Claims arbitrate when both workers are handed the full matrix."""
+        _CountingForecaster.executions.clear()
+        manifest_path = tmp_path / "contended.json"
+        all_cells = ShardCoordinator(_marked_datasets(), _counting_toolkits(), 1).cells(0)
+        errors: list = []
+        workers = [
+            threading.Thread(
+                target=self._run_worker,
+                args=(manifest_path, list(all_cells), f"worker-{i}", errors),
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        ledger = _execution_ledger()
+        assert set(ledger) == set(all_cells)
+        assert all(count == 1 for count in ledger.values())
+
+    def test_worker_results_cover_only_owned_cells(self, tmp_path):
+        _CountingForecaster.executions.clear()
+        manifest_path = tmp_path / "m.json"
+        coordinator = ShardCoordinator(_marked_datasets(), _counting_toolkits(), 2)
+        runner = BenchmarkRunner(
+            horizon=6, manifest_path=str(manifest_path), worker_id="shard-1/2"
+        )
+        results = runner.run(
+            _marked_datasets(), _counting_toolkits(), cells=coordinator.cells(0)
+        )
+        assert len(results.runs) == len(coordinator.cells(0)) == 3
+        assert {(r.dataset, r.toolkit) for r in results.runs} == set(coordinator.cells(0))
+
+    def test_worker_id_requires_manifest(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            BenchmarkRunner(horizon=6, worker_id="shard-1/2")
+
+    def test_transient_failures_release_claims_for_retry(self, tmp_path):
+        """A crashed-worker cell must be reclaimable by a different worker."""
+        manifest_path = str(tmp_path / "m.json")
+        crashed = BenchmarkRunner(
+            horizon=6,
+            manifest_path=manifest_path,
+            worker_id="worker-a",
+            executor=_CrashingExecutor(),
+        ).run(_toy_datasets(), _toy_toolkits())
+        assert all(run.failed for run in crashed.runs)
+
+        retried = BenchmarkRunner(
+            horizon=6, manifest_path=manifest_path, worker_id="worker-b"
+        ).run(_toy_datasets(), _toy_toolkits())
+        assert len(retried.runs) == 4  # worker-b could claim every cell
+        assert not any(run.failed for run in retried.runs)
+
+    def test_interrupted_worker_releases_unfinished_claims(self, tmp_path):
+        """An exception mid-run must not wedge the unfinished cells."""
+        manifest_path = str(tmp_path / "m.json")
+        interrupted = BenchmarkRunner(
+            horizon=6,
+            manifest_path=manifest_path,
+            worker_id="worker-a",
+            executor=_InterruptingExecutor(fail_after=2),
+        )
+        with pytest.raises(RuntimeError, match="simulated interruption"):
+            interrupted.run(_toy_datasets(), _toy_toolkits())
+
+        finished = BenchmarkRunner(
+            horizon=6, manifest_path=manifest_path, worker_id="worker-b"
+        ).run(_toy_datasets(), _toy_toolkits())
+        assert len(finished.runs) == 4  # nothing left wedged behind a claim
+        assert not any(run.failed for run in finished.runs)
+        assert 0 < finished.from_cache_count() < 4  # worker-a's cells reused
+
+
 class TestBenchmarkCli:
     def test_tiny_suite_resume_roundtrip(self, tmp_path, capsys):
         from repro.benchmarking.__main__ import main
@@ -271,6 +629,85 @@ class TestBenchmarkCli:
         assert first["from_manifest"] == 0
         assert second["from_manifest"] == second["cells"] == first["cells"]
         assert capsys.readouterr().out.count("†") >= second["cells"]
+
+    def test_sharded_workers_merge_to_full_matrix(self, tmp_path, capsys):
+        from repro.benchmarking.__main__ import main
+
+        manifest = str(tmp_path / "manifest.json")
+        for shard in ("1/2", "2/2"):
+            code = main(
+                ["--worker", "--shard", shard, "--manifest", manifest, "--quiet",
+                 "--worker-id", f"shard-{shard}"]
+            )
+            assert code == 0
+        merged_json = str(tmp_path / "merged.json")
+        assert main(["--manifest", manifest, "--resume", "--quiet", "--json", merged_json]) == 0
+        merged = json.loads(open(merged_json).read())
+        assert merged["from_manifest"] == merged["cells"] == 12  # 4 datasets x 3 toolkits
+        assert merged["workers"] == ["shard-1/2", "shard-2/2"]
+        assert "Shard provenance" in capsys.readouterr().out
+
+    def test_worker_flag_requires_shard(self, capsys):
+        from repro.benchmarking.__main__ import main
+
+        assert main(["--worker", "--quiet"]) == 2
+        assert main(["--shard", "3/2", "--quiet"]) == 2
+        assert main(["--shard", "1/2", "--quiet"]) == 2  # no --manifest
+
+    def test_failed_cells_exit_nonzero_with_summary(self, tmp_path, monkeypatch, capsys):
+        """Regression: CI shard jobs must be able to gate on the exit code."""
+        import repro.benchmarking.__main__ as cli
+
+        def with_broken():
+            def broken(horizon):
+                raise RuntimeError("toolkit cannot even build")
+
+            return {"Broken": broken, "Zero": lambda h: ZeroModelForecaster(horizon=h)}
+
+        monkeypatch.setattr(cli, "_tiny_toolkits", with_broken)
+        code = cli.main(["--quiet", "--json", str(tmp_path / "s.json")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "Failed or over-budget cells:" in captured.err
+        assert "Broken" in captured.err
+        summary = json.loads(open(tmp_path / "s.json").read())
+        assert summary["failures"] == 4  # Broken column on all four tiny datasets
+
+    def test_resume_strict_missing_manifest_exits_2(self, tmp_path, capsys):
+        from repro.benchmarking.__main__ import main
+
+        code = main(
+            ["--resume-strict", "--manifest", str(tmp_path / "absent.json"), "--quiet"]
+        )
+        assert code == 2
+        assert "no manifest exists" in capsys.readouterr().err
+
+    def test_executor_misconfiguration_exits_2(self, monkeypatch, capsys):
+        from repro.benchmarking.__main__ import main
+
+        monkeypatch.delenv("REPRO_REMOTE_WORKERS", raising=False)
+        assert main(["--executor", "remote", "--quiet"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["--workers", "h:1", "--executor", "processes", "--quiet"]) == 2
+        assert "only applies to --executor remote" in capsys.readouterr().err
+
+    def test_resume_flags_require_manifest(self, capsys):
+        """Regression: --resume-strict without --manifest must not silently
+        recompute the whole suite with exit code 0."""
+        from repro.benchmarking.__main__ import main
+
+        assert main(["--resume-strict", "--quiet"]) == 2
+        assert main(["--resume", "--quiet"]) == 2
+        assert "--manifest" in capsys.readouterr().err
+
+    def test_plain_manifest_run_leaves_no_lock_sidecar(self, tmp_path):
+        from repro.benchmarking.__main__ import main
+
+        manifest = tmp_path / "manifest.json"
+        assert main(["--manifest", str(manifest), "--quiet"]) == 0
+        assert manifest.exists()
+        leftovers = {p.name for p in tmp_path.iterdir()} - {"manifest.json"}
+        assert leftovers == set()
 
 
 class TestResultsContainer:

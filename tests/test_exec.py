@@ -1,5 +1,8 @@
 """Tests for the execution engine: backends, memoization and parallel T-Daub."""
 
+import multiprocessing
+import os
+import signal
 import time
 
 import numpy as np
@@ -12,11 +15,14 @@ from repro.exec import (
     Deadline,
     EvaluationCache,
     ProcessExecutor,
+    RemoteExecutor,
     SerialExecutor,
     ThreadExecutor,
+    WorkerServer,
     get_executor,
     resolve_n_jobs,
 )
+from repro.exec.remote import parse_worker_address
 from repro.forecasters.holtwinters import HoltWintersForecaster
 from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
 from repro.forecasters.theta import ThetaForecaster
@@ -37,7 +43,24 @@ def _slow_task(seconds):
     return seconds
 
 
-ALL_EXECUTORS = [SerialExecutor(), ThreadExecutor(n_jobs=2), ProcessExecutor(n_jobs=2)]
+# Two in-process worker servers back the remote executor through the whole
+# module: the cross-backend suite below runs the remote backend against the
+# exact same assertions as the local ones.
+_REMOTE_SERVERS = [WorkerServer(), WorkerServer()]
+for _server in _REMOTE_SERVERS:
+    _server.serve_in_background()
+
+
+def _remote_executor(n_lanes: int = 2) -> RemoteExecutor:
+    return RemoteExecutor([_REMOTE_SERVERS[i % 2].address for i in range(n_lanes)])
+
+
+ALL_EXECUTORS = [
+    SerialExecutor(),
+    ThreadExecutor(n_jobs=2),
+    ProcessExecutor(n_jobs=2),
+    _remote_executor(),
+]
 
 
 class TestExecutors:
@@ -90,7 +113,12 @@ class TestExecutors:
 
     @pytest.mark.parametrize(
         "executor",
-        [SerialExecutor(), ThreadExecutor(n_jobs=1), ProcessExecutor(n_jobs=1)],
+        [
+            SerialExecutor(),
+            ThreadExecutor(n_jobs=1),
+            ProcessExecutor(n_jobs=1),
+            _remote_executor(n_lanes=1),
+        ],
         ids=lambda e: e.name,
     )
     def test_deadline_skips_unstarted_tasks_on_every_backend(self, executor):
@@ -149,6 +177,202 @@ class TestExecutors:
         assert get_executor(instance) is instance
         with pytest.raises(InvalidParameterError):
             get_executor("gpu")
+
+
+class TestTimeoutDowngrade:
+    def test_spawn_fallback_records_downgrade_and_keeps_value(self):
+        """Regression: the inline fallback must not silently soften timeouts.
+
+        An unpicklable task under ``spawn`` runs inline, where the enforced
+        per-task budget degrades to a soft one — the overrun is flagged but
+        the task ran to completion.  The downgrade is recorded so callers
+        relying on hard preemption can tell.
+        """
+        executor = ProcessExecutor(n_jobs=2, start_method="spawn")
+        outcomes = executor.map_tasks(
+            lambda seconds: _slow_task(seconds), [0.05], timeout=0.01
+        )
+        assert outcomes[0].timeout_downgraded
+        assert outcomes[0].timed_out
+        assert outcomes[0].value == 0.05  # ran to completion despite the budget
+
+    def test_no_downgrade_recorded_without_a_timeout(self):
+        executor = ProcessExecutor(n_jobs=2, start_method="spawn")
+        outcomes = executor.map_tasks(lambda x: x + 1, [1])
+        assert outcomes[0].value == 2
+        assert not outcomes[0].timeout_downgraded
+
+    def test_enforced_path_never_reports_downgrade(self):
+        outcomes = ProcessExecutor(n_jobs=2).map_tasks(_square, [3], timeout=5.0)
+        assert outcomes[0].value == 9
+        assert not outcomes[0].timeout_downgraded
+
+
+def _serve_victim(conn) -> None:
+    """Child-process body hosting a WorkerServer whose address is piped back."""
+    server = WorkerServer(port=0)
+    conn.send(server.address)
+    conn.close()
+    server.serve_forever()
+
+
+def _kill_host_server(task):
+    """A task that takes its worker *server* down (not just its own process)."""
+    if isinstance(task, tuple) and task[0] == "kill":
+        os.kill(task[1], signal.SIGKILL)  # the victim server's pid, by value
+        time.sleep(0.5)  # give the death time to sever the connection
+    return task * 2
+
+
+def _start_victim_server() -> tuple:
+    # Not daemonic: the server must be able to fork task processes.
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_serve_victim, args=(child_conn,))
+    process.start()
+    child_conn.close()
+    address = parent_conn.recv()
+    parent_conn.close()
+    return process, address
+
+
+class TestRemoteExecutor:
+    def test_timeout_is_enforced_like_processes(self):
+        start = time.perf_counter()
+        outcomes = _remote_executor().map_tasks(_slow_task, [10.0, 0.01], timeout=0.3)
+        assert time.perf_counter() - start < 5.0
+        assert outcomes[0].timed_out and outcomes[0].value is None
+        assert "budget" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].value == 0.01
+
+    def test_deadline_terminates_inflight_task(self):
+        start = time.perf_counter()
+        outcomes = _remote_executor(n_lanes=1).map_tasks(
+            _slow_task, [10.0], deadline=Deadline(0.3)
+        )
+        assert time.perf_counter() - start < 5.0
+        assert outcomes[0].timed_out and outcomes[0].value is None
+        assert "deadline" in outcomes[0].error
+
+    def test_matches_serial_outcomes_and_order(self):
+        """Cross-backend determinism incl. error outcomes, at the seam level."""
+        tasks = [1, 2, 3, 4, 5, 2]
+        serial = SerialExecutor().map_tasks(_square_or_fail, tasks)
+        remote = _remote_executor().map_tasks(_square_or_fail, tasks)
+        assert [(o.index, o.value, o.error) for o in remote] == [
+            (o.index, o.value, o.error) for o in serial
+        ]
+
+    def test_worker_death_becomes_error_outcome(self):
+        process, address = _start_victim_server()
+        try:
+            outcomes = RemoteExecutor(["%s:%d" % address]).map_tasks(
+                _kill_host_server, [("kill", process.pid), "a", "b"]
+            )
+            assert outcomes[0].value is None
+            assert "died" in outcomes[0].error
+            # Single lane, no survivors: queued tasks are reported, not hung.
+            for outcome in outcomes[1:]:
+                assert outcome.value is None and "died" in outcome.error
+        finally:
+            if process.is_alive():
+                process.kill()
+            process.join()
+
+    def test_surviving_lane_absorbs_queue_when_a_worker_is_unreachable(self):
+        """A worker that never received a task must not lose that task."""
+        executor = RemoteExecutor(
+            ["127.0.0.1:1", "%s:%d" % _REMOTE_SERVERS[0].address],
+            connect_timeout=0.5,
+        )
+        outcomes = executor.map_tasks(_square, [1, 2, 3, 4, 5, 6])
+        assert [o.value for o in outcomes] == [1, 4, 9, 16, 25, 36]
+
+    def test_unreachable_worker_reports_errors_not_hangs(self):
+        executor = RemoteExecutor(["127.0.0.1:1"], connect_timeout=0.5)
+        outcomes = executor.map_tasks(_square, [1, 2])
+        assert all(o.value is None and "died" in o.error for o in outcomes)
+
+    def test_unpicklable_task_falls_back_inline_with_downgrade(self):
+        offset = 7
+        outcomes = _remote_executor().map_tasks(lambda x: x + offset, [1, 2], timeout=5.0)
+        assert [o.value for o in outcomes] == [8, 9]
+        assert all(o.timeout_downgraded for o in outcomes)
+
+    def test_authkey_handshake(self):
+        server = WorkerServer(authkey=b"secret")
+        server.serve_in_background()
+        try:
+            address = "%s:%d" % server.address
+            good = RemoteExecutor([address], authkey=b"secret").map_tasks(_square, [3])
+            assert good[0].value == 9
+            bad = RemoteExecutor([address], authkey=b"wrong").map_tasks(_square, [3])
+            assert bad[0].value is None and "died" in bad[0].error
+        finally:
+            server.close()
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_WORKERS", "host-a:7071, host-b:7072")
+        executor = RemoteExecutor.from_env()
+        assert executor.workers == [("host-a", 7071), ("host-b", 7072)]
+        monkeypatch.delenv("REPRO_REMOTE_WORKERS")
+        with pytest.raises(InvalidParameterError):
+            RemoteExecutor.from_env()
+        with pytest.raises(InvalidParameterError):
+            get_executor("remote")
+
+    def test_parse_worker_address(self):
+        assert parse_worker_address("host:7071") == ("host", 7071)
+        assert parse_worker_address(("host", 7071)) == ("host", 7071)
+        # Brackets are stripped: create_connection wants the bare address.
+        assert parse_worker_address("[::1]:7071") == ("::1", 7071)
+        with pytest.raises(ValueError):
+            parse_worker_address("no-port")
+
+    def test_server_n_jobs_caps_concurrency(self):
+        """Two lanes into a 2-slot worker overlap; a 1-slot worker serializes."""
+        wide = WorkerServer(n_jobs=2)
+        narrow = WorkerServer(n_jobs=1)
+        for server in (wide, narrow):
+            server.serve_in_background()
+        try:
+            wide_address = "%s:%d" % wide.address
+            start = time.perf_counter()
+            outcomes = RemoteExecutor([wide_address, wide_address]).map_tasks(
+                _slow_task, [0.4, 0.4]
+            )
+            concurrent_wall = time.perf_counter() - start
+            assert all(o.ok for o in outcomes)
+            assert concurrent_wall < 0.75  # the two 0.4s tasks overlapped
+
+            narrow_address = "%s:%d" % narrow.address
+            start = time.perf_counter()
+            outcomes = RemoteExecutor([narrow_address, narrow_address]).map_tasks(
+                _slow_task, [0.4, 0.4]
+            )
+            serialized_wall = time.perf_counter() - start
+            assert all(o.ok for o in outcomes)
+            assert serialized_wall > 0.75  # the 1-slot cap serialized them
+        finally:
+            wide.close()
+            narrow.close()
+
+    def test_tdaub_fans_out_over_remote_workers_unchanged(self):
+        """The acceptance seam: T-Daub with executor=remote == serial, exactly."""
+        series = _fixed_seed_series()
+        reference = TDaub(
+            pipelines=_candidate_pipelines(), horizon=12, run_to_completion=2
+        ).fit(series)
+        remote = TDaub(
+            pipelines=_candidate_pipelines(),
+            horizon=12,
+            run_to_completion=2,
+            executor=_remote_executor(),
+        ).fit(series)
+        assert remote.ranked_names_ == reference.ranked_names_
+        assert {name: e.scores for name, e in remote.evaluations_.items()} == {
+            name: e.scores for name, e in reference.evaluations_.items()
+        }
 
 
 class TestEvaluationCache:
