@@ -131,6 +131,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: shard-K/N@host:pid)",
     )
     parser.add_argument(
+        "--reclaim-stale",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat another worker's claim as abandoned once its newest "
+        "claimed_at/heartbeat timestamp is older than SECONDS, making a "
+        "dead worker's cells claimable again (default: never reclaim)",
+    )
+    parser.add_argument(
+        "--no-dataplane",
+        action="store_true",
+        help="ship task data by value instead of through the zero-copy "
+        "data plane (shared-memory/blob distribution of dataset arrays)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="persistent evaluation store for the AutoAI-TS cells",
@@ -269,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
         executor=executor,
         manifest_path=args.manifest,
         worker_id=worker_id,
+        reclaim_stale=args.reclaim_stale,
+        dataplane=not args.no_dataplane,
         verbose=not args.quiet,
     )
     resume: bool | str = args.resume or args.resume_strict

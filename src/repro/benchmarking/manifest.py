@@ -320,6 +320,15 @@ class SharedManifest(RunManifest):
         Identity recorded with this worker's claims (e.g. ``"shard-1/2"``).
     lock_timeout:
         Seconds to wait for the manifest lock before failing loudly.
+    reclaim_stale:
+        Age in seconds after which *another* worker's claim counts as
+        abandoned and may be taken over.  A claim's age is measured from
+        the newest of its ``claimed_at`` and ``heartbeat`` timestamps;
+        live workers refresh the heartbeat at every checkpoint (see
+        :meth:`heartbeat`), so only a worker that actually died — SIGKILL,
+        node loss, anything that skipped claim release — goes stale.
+        ``None`` (default) preserves the conservative protocol: persisted
+        claims block forever until released or manually cleared.
     """
 
     def __init__(
@@ -329,9 +338,11 @@ class SharedManifest(RunManifest):
         spec: Mapping[str, Any] | None = None,
         worker: str = "",
         lock_timeout: float = 60.0,
+        reclaim_stale: float | None = None,
     ):
         super().__init__(path, fingerprint, spec)
         self.worker = worker or f"worker-{os.getpid()}"
+        self.reclaim_stale = None if reclaim_stale is None else float(reclaim_stale)
         self._granted: set[tuple[str, str]] = set()
         self._lock = FileLock(self.path.with_name(self.path.name + ".lock"), timeout=lock_timeout)
 
@@ -379,6 +390,24 @@ class SharedManifest(RunManifest):
     def _write_claims(self, record: dict) -> None:
         atomic_write_text(self.claims_path, json.dumps(record, indent=1))
 
+    @staticmethod
+    def _claim_freshness(claim: Mapping[str, Any]) -> float:
+        """Newest liveness timestamp of one claim record."""
+        try:
+            claimed_at = float(claim.get("claimed_at", 0.0))
+        except (TypeError, ValueError):
+            claimed_at = 0.0
+        try:
+            heartbeat = float(claim.get("heartbeat", 0.0))
+        except (TypeError, ValueError):
+            heartbeat = 0.0
+        return max(claimed_at, heartbeat)
+
+    def _is_stale(self, claim: Mapping[str, Any], now: float) -> bool:
+        if self.reclaim_stale is None:
+            return False
+        return now - self._claim_freshness(claim) > self.reclaim_stale
+
     def claim(self, tags: Iterable[tuple[str, str]]) -> set[tuple[str, str]]:
         """Atomically claim the subset of ``tags`` nobody else owns.
 
@@ -391,33 +420,86 @@ class SharedManifest(RunManifest):
         this manifest object's own earlier grants are re-grantable).
         Granted claims are persisted before the lock is released, so no two
         workers can ever both believe they own a cell.
+
+        With ``reclaim_stale`` set, a claim whose newest
+        ``claimed_at``/``heartbeat`` timestamp is older than the threshold
+        is treated as abandoned by a dead worker: it is dropped from the
+        sidecar (the takeover is recorded on the new claim as
+        ``reclaimed_from``) and the cell granted as if it were free.
         """
         requested = list(tags)
         with self._lock:
+            # Timestamp under the lock: a claim backdated by a contended
+            # acquire would look instantly stale to reclaim_stale peers.
+            now = time.time()
             self._merge_from_disk()
             record = self._read_claims()
-            taken = {
-                (claim["dataset"], claim["toolkit"]) for claim in record["claims"]
-            } - self._granted
+            stale_owner: dict[tuple[str, str], str] = {}
+            taken: set[tuple[str, str]] = set()
+            for claim in record["claims"]:
+                key = (claim["dataset"], claim["toolkit"])
+                if key in self._granted:
+                    continue
+                if self._is_stale(claim, now):
+                    stale_owner[key] = str(claim.get("worker", ""))
+                else:
+                    taken.add(key)
             granted: set[tuple[str, str]] = set()
+            reclaimed: set[tuple[str, str]] = set()
+            new_entries: list[dict] = []
             for dataset, toolkit in requested:
                 key = (dataset, toolkit)
                 if key in self._cells or key in taken or key in granted:
                     continue
                 granted.add(key)
+                if key in stale_owner:
+                    reclaimed.add(key)
                 if key not in self._granted:
-                    record["claims"].append(
-                        {
-                            "dataset": dataset,
-                            "toolkit": toolkit,
-                            "worker": self.worker,
-                            "claimed_at": time.time(),
-                        }
-                    )
+                    entry = {
+                        "dataset": dataset,
+                        "toolkit": toolkit,
+                        "worker": self.worker,
+                        "claimed_at": now,
+                    }
+                    if key in stale_owner:
+                        entry["reclaimed_from"] = stale_owner[key]
+                    new_entries.append(entry)
+            if reclaimed:
+                # Drop the dead worker's records for the cells we took over
+                # (their identity survives in ``reclaimed_from``).
+                record["claims"] = [
+                    claim
+                    for claim in record["claims"]
+                    if (claim["dataset"], claim["toolkit"]) not in reclaimed
+                ]
+            record["claims"].extend(new_entries)
             self._granted |= granted
             if granted:
                 self._write_claims(record)
         return granted
+
+    def heartbeat(self) -> None:
+        """Refresh the liveness timestamp on every claim this worker holds.
+
+        Called by the runner at each checkpoint; a worker that stops
+        heartbeating (crashed, SIGKILLed, partitioned) ages out once
+        ``reclaim_stale`` passes and its cells become claimable again.
+        """
+        if not self._granted:
+            return
+        with self._lock:
+            now = time.time()
+            record = self._read_claims()
+            touched = False
+            for claim in record["claims"]:
+                if (
+                    claim.get("worker") == self.worker
+                    and (claim["dataset"], claim["toolkit"]) in self._granted
+                ):
+                    claim["heartbeat"] = now
+                    touched = True
+            if touched:
+                self._write_claims(record)
 
     def release_claims(self, tags: Iterable[tuple[str, str]]) -> None:
         """Give up claims for cells this worker will not compute after all.

@@ -75,6 +75,21 @@ class BenchmarkRunner:
         are *claimed* before they run (so concurrent workers never
         double-run or clobber a cell), and cells another worker owns are
         left out of this invocation's results.  Requires ``manifest_path``.
+    reclaim_stale:
+        Age in seconds after which another worker's claim counts as
+        abandoned: a worker that died holding claims (SIGKILL, node loss)
+        stops refreshing its heartbeat, and once the newest of
+        ``claimed_at``/``heartbeat`` is older than this, the cells become
+        claimable again.  ``None`` (default) never reclaims — dead
+        workers' cells stay blocked until the claim sidecar is cleared.
+        Only meaningful for shard workers (``worker_id``).
+    dataplane:
+        Use the execution backend's zero-copy data plane when it provides
+        one: each dataset is registered with the engine once per run and
+        every matrix cell ships ``ArrayRef`` train/test slices instead of
+        pickled arrays.  Results and manifests are identical to the
+        by-value path, which remains the fallback for executors without a
+        plane.  On by default.
     verbose:
         Print one line per (dataset, toolkit) pair as the matrix runs.
     """
@@ -89,6 +104,8 @@ class BenchmarkRunner:
         executor: str | BaseExecutor | None = None,
         manifest_path: str | None = None,
         worker_id: str | None = None,
+        reclaim_stale: float | None = None,
+        dataplane: bool = True,
         verbose: bool = False,
     ):
         self.horizon = check_horizon(horizon)
@@ -99,6 +116,8 @@ class BenchmarkRunner:
         self.executor = executor
         self.manifest_path = manifest_path
         self.worker_id = worker_id
+        self.reclaim_stale = None if reclaim_stale is None else float(reclaim_stale)
+        self.dataplane = dataplane
         if worker_id is not None and manifest_path is None:
             from ..exceptions import InvalidParameterError
 
@@ -112,11 +131,14 @@ class BenchmarkRunner:
         if self.verbose:
             print(f"[benchmark] {message}")
 
+    def _train_length(self, n_samples: int) -> int:
+        n_train = int(round(n_samples * self.train_fraction))
+        return min(max(n_train, 1), n_samples - 1)
+
     def split(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """80/20 (by default) temporal split shared by every toolkit."""
         data = as_2d_array(data)
-        n_train = int(round(len(data) * self.train_fraction))
-        n_train = min(max(n_train, 1), len(data) - 1)
+        n_train = self._train_length(len(data))
         return data[:n_train], data[n_train:]
 
     def evaluate_toolkit(
@@ -158,10 +180,31 @@ class BenchmarkRunner:
         fingerprint always covers the *full* matrix, so every shard of one
         suite shares one manifest.
         """
+        engine = get_executor(self.executor, self.n_jobs)
+        plane_factory = getattr(engine, "create_dataplane", None)
+        plane = plane_factory() if self.dataplane and callable(plane_factory) else None
+        try:
+            return self._run(datasets, toolkits, resume, cells, engine, plane)
+        finally:
+            if plane is not None:
+                plane.close()
+
+    def _run(
+        self,
+        datasets: Mapping[str, np.ndarray],
+        toolkits: Mapping[str, ToolkitFactory],
+        resume: bool | str,
+        cells: Iterable[tuple[str, str]] | None,
+        engine: BaseExecutor,
+        plane,
+    ) -> BenchmarkResults:
         cell_filter = None if cells is None else set(cells)
         tasks: list[ToolkitRunTask] = []
+        splits: dict[str, tuple[np.ndarray, int]] = {}
         for dataset_name, data in datasets.items():
-            train, test = self.split(data)
+            data = as_2d_array(data)
+            n_train = self._train_length(len(data))
+            splits[dataset_name] = (data, n_train)
             for toolkit_name, factory in toolkits.items():
                 if cell_filter is not None and (dataset_name, toolkit_name) not in cell_filter:
                     continue
@@ -169,8 +212,8 @@ class BenchmarkRunner:
                     ToolkitRunTask(
                         tag=(dataset_name, toolkit_name),
                         factory=factory,
-                        train=train,
-                        test=test,
+                        train=data[:n_train],
+                        test=data[n_train:],
                         horizon=self.horizon,
                         evaluation_window=self.evaluation_window,
                     )
@@ -189,7 +232,11 @@ class BenchmarkRunner:
             fingerprint = fingerprint_of_spec(spec)
             if self.worker_id is not None:
                 manifest = SharedManifest(
-                    self.manifest_path, fingerprint, spec, worker=self.worker_id
+                    self.manifest_path,
+                    fingerprint,
+                    spec,
+                    worker=self.worker_id,
+                    reclaim_stale=self.reclaim_stale,
                 )
             else:
                 manifest = RunManifest(self.manifest_path, fingerprint, spec)
@@ -226,7 +273,24 @@ class BenchmarkRunner:
                     "claimed by another worker; skipping"
                 )
 
-        engine = get_executor(self.executor, self.n_jobs)
+        if plane is not None and pending:
+            # Registration waits until the resume merge and claim protocol
+            # have said which cells actually run: a fully-warm resume (or a
+            # shard whose slice was claimed elsewhere) must not pay
+            # shared-memory copies for datasets it never computes.  One
+            # registration per dataset per run ("one plane per suite"): the
+            # shared splits of every cell are slices of the same pinned
+            # base, and register() hands the array back unchanged when it
+            # cannot pin — leaving those cells by-value.
+            registered: dict[str, tuple] = {}
+            for task in pending:
+                dataset_name = task.tag[0]
+                if dataset_name not in registered:
+                    data, n_train = splits[dataset_name]
+                    handle = plane.register(data)
+                    registered[dataset_name] = (handle[:n_train], handle[n_train:])
+                task.train, task.test = registered[dataset_name]
+
         try:
             for chunk in self._checkpoint_chunks(pending, manifest, engine):
                 outcomes = engine.map_tasks(
@@ -240,6 +304,11 @@ class BenchmarkRunner:
                         manifest.record(run)
                 if manifest is not None:
                     manifest.flush()
+                if isinstance(manifest, SharedManifest):
+                    # Refresh our claims' heartbeats at every checkpoint so
+                    # --reclaim-stale peers can tell a slow worker from a
+                    # dead one.
+                    manifest.heartbeat()
         finally:
             # Claims for cells that ended without a manifest record — a
             # transient executor failure (deliberately kept out of the

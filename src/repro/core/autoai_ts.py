@@ -91,6 +91,11 @@ class AutoAITS(BaseForecaster):
         of identical (pipeline, data slice, horizon) combinations are
         served from disk across processes and runs — point several
         benchmark shards at one shared directory to split the work.
+    dataplane:
+        Hand T-Daub the execution backend's zero-copy data plane (the
+        default): the training split is registered with the engine once
+        and every evaluation task ships an ``ArrayRef`` slice instead of
+        pickled arrays.  ``False`` forces by-value task payloads.
     budget:
         Wall-clock budget in seconds for the T-Daub ranking phase,
         enforced cooperatively on every execution backend.  When it runs
@@ -115,6 +120,7 @@ class AutoAITS(BaseForecaster):
         n_jobs: int | None = None,
         executor=None,
         cache_dir: str | None = None,
+        dataplane: bool = True,
         budget: float | None = None,
     ):
         self.prediction_horizon = prediction_horizon
@@ -132,6 +138,7 @@ class AutoAITS(BaseForecaster):
         self.n_jobs = n_jobs
         self.executor = executor
         self.cache_dir = cache_dir
+        self.dataplane = dataplane
         self.budget = budget
 
     # -- orchestration ---------------------------------------------------------
@@ -207,6 +214,7 @@ class AutoAITS(BaseForecaster):
             n_jobs=self.n_jobs,
             executor=self.executor,
             cache_dir=self.cache_dir,
+            dataplane=self.dataplane,
             budget=self.budget,
         )
         progress.report("t-daub", "ranking pipelines with reverse data allocation")

@@ -144,6 +144,16 @@ class TDaub(BaseEstimator):
         Cache ``(pipeline params, slice, horizon) -> score`` within this fit
         so identical re-evaluations (e.g. the scoring-phase retrain of a
         fully allocated pipeline) are free.  On by default.
+    dataplane:
+        Use the execution backend's zero-copy data plane when it provides
+        one: the training and test splits are registered once per fit
+        (shared memory on the process backend, one-time content-addressed
+        blobs on the remote backend) and every task ships an
+        :class:`~repro.exec.ArrayRef` slice instead of pickling array
+        values.  Rankings, score histories and cache keys are identical
+        to the by-value path, which remains the fallback for executors
+        without a plane (``create_dataplane() -> None``).  On by default;
+        ``False`` forces by-value task payloads everywhere.
     cache_dir:
         Directory of a persistent evaluation store shared across fits,
         processes and runs.  Requires ``memoize=True`` (the default); a
@@ -175,6 +185,7 @@ class TDaub(BaseEstimator):
         n_jobs: int | None = None,
         executor: str | BaseExecutor | None = None,
         memoize: bool = True,
+        dataplane: bool = True,
         cache_dir: str | None = None,
         budget: float | None = None,
     ):
@@ -192,6 +203,7 @@ class TDaub(BaseEstimator):
         self.n_jobs = n_jobs
         self.executor = executor
         self.memoize = memoize
+        self.dataplane = dataplane
         self.cache_dir = cache_dir
         self.budget = budget
 
@@ -204,8 +216,15 @@ class TDaub(BaseEstimator):
         name = getattr(pipeline, "name", None) or type(pipeline).__name__
         return f"{name}#{index}" if self._name_counts.get(name, 0) > 1 else name
 
-    def _allocation_slice(self, T1: np.ndarray, allocation: int) -> np.ndarray:
-        """Return the training slice for a given allocation size."""
+    def _allocation_slice(self, T1, allocation: int):
+        """Return the training slice for a given allocation size.
+
+        ``T1`` is the training split as an array *or* a data-plane
+        :class:`~repro.exec.ArrayRef` — both support ``len`` and
+        contiguous row slicing, so a reverse allocation is literally the
+        same expression either way (for refs it derives a ``(base_ref,
+        offset)`` pair without touching the data).
+        """
         allocation = min(allocation, len(T1))
         if self.allocation_direction == "recent_first":
             return T1[len(T1) - allocation :]
@@ -228,7 +247,9 @@ class TDaub(BaseEstimator):
         for index, (name, template, train, test) in enumerate(jobs):
             key = None
             if self._cache is not None:
-                key = self._cache.make_key(template, train, test, self.horizon, self.scorer)
+                key = self._cache.make_key(
+                    template, train, test, self.horizon, self.scorer, plane=self._plane
+                )
                 hit = self._cache.get(key)
                 if hit is not None:
                     # The wall clock spent on a cache hit is ~0; keep the
@@ -314,6 +335,20 @@ class TDaub(BaseEstimator):
 
         start_time = time.perf_counter()
         self._engine = get_executor(self.executor, self.n_jobs)
+        plane_factory = getattr(self._engine, "create_dataplane", None)
+        self._plane = (
+            plane_factory() if self.dataplane and callable(plane_factory) else None
+        )
+        try:
+            return self._fit(T, start_time)
+        finally:
+            # The plane's registrations (shared-memory segments, remote blob
+            # roster entries) live exactly as long as one fit.
+            plane, self._plane = self._plane, None
+            if plane is not None:
+                plane.close()
+
+    def _fit(self, T, start_time: float) -> "TDaub":
         self._batch_size = max(1, resolve_n_jobs(self.n_jobs))
         self._cache = (
             EvaluationCache(cache_dir=self.cache_dir) if self.memoize else None
@@ -328,6 +363,14 @@ class TDaub(BaseEstimator):
         n_test = max(n_test, 1)
         T1, T2 = T[: len(T) - n_test], T[len(T) - n_test :]
         L = len(T1)
+        if self._plane is not None:
+            # Register the splits once: every allocation below derives a
+            # zero-copy (base_ref, offset) slice instead of carrying array
+            # values.  register() returns the array unchanged when the
+            # plane cannot pin it, transparently keeping that input
+            # by-value.
+            T1 = self._plane.register(T1)
+            T2 = self._plane.register(T2)
 
         # Resolve allocation parameters.
         if self.min_allocation_size is not None:

@@ -11,7 +11,11 @@ scoring phase and the full benchmark matrix — funnels through this package:
 - :mod:`repro.exec.remote` — ``RemoteExecutor`` / ``WorkerServer``, the
   same ``map_tasks`` contract fanned out across machines over a socket
   protocol (length-prefixed pickle frames, forwarded timeouts/deadlines,
-  worker-death detection).
+  worker-death detection, one-time content-addressed blob distribution).
+- :mod:`repro.exec.dataplane` — the zero-copy data plane: base arrays are
+  registered once per run (shared memory on the process backend, plain
+  references on serial/threads, blobs on remote) and tasks carry tiny
+  ``ArrayRef`` slices instead of pickled array values.
 - :mod:`repro.exec.cache` — :class:`EvaluationCache`, a two-tier memo of
   ``(pipeline params, data fingerprints, horizon) -> score``: an in-memory
   LRU front tier plus an optional persistent tier under ``cache_dir``.
@@ -22,6 +26,15 @@ scoring phase and the full benchmark matrix — funnels through this package:
 """
 
 from .cache import CacheStats, EvaluationCache, estimator_fingerprint
+from .dataplane import (
+    ArrayRef,
+    DataPlane,
+    SharedMemoryPlane,
+    array_digest,
+    array_fingerprint,
+    hydrate_task,
+    resolve_array,
+)
 from .executor import (
     BaseExecutor,
     Deadline,
@@ -32,7 +45,7 @@ from .executor import (
     get_executor,
     resolve_n_jobs,
 )
-from .remote import RemoteExecutor, WorkerServer
+from .remote import RemoteBlobPlane, RemoteExecutor, WireStats, WorkerServer
 from .store import SCHEMA_VERSION, DiskStore, FileLock, key_digest
 from .tasks import (
     FitScoreResult,
@@ -54,6 +67,15 @@ __all__ = [
     "resolve_n_jobs",
     "RemoteExecutor",
     "WorkerServer",
+    "RemoteBlobPlane",
+    "WireStats",
+    "ArrayRef",
+    "DataPlane",
+    "SharedMemoryPlane",
+    "array_digest",
+    "array_fingerprint",
+    "hydrate_task",
+    "resolve_array",
     "EvaluationCache",
     "CacheStats",
     "estimator_fingerprint",

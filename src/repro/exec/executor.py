@@ -171,6 +171,18 @@ class BaseExecutor:
         """
         raise NotImplementedError
 
+    def create_dataplane(self):
+        """Zero-copy data plane matched to this backend, or ``None``.
+
+        Callers register base arrays with the returned
+        :class:`~repro.exec.dataplane.DataPlane` and submit tasks carrying
+        :class:`~repro.exec.dataplane.ArrayRef` slices instead of array
+        values; the caller that created the plane must ``close()`` it when
+        the run ends.  The base implementation returns ``None`` — custom
+        executors keep receiving task data by value unless they opt in.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -207,6 +219,11 @@ class SerialExecutor(BaseExecutor):
 
     name = "serial"
 
+    def create_dataplane(self):
+        from .dataplane import DataPlane
+
+        return DataPlane()
+
     def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         outcomes = []
         for index, task in enumerate(tasks):
@@ -223,6 +240,11 @@ class ThreadExecutor(BaseExecutor):
 
     def __init__(self, n_jobs: int | None = None):
         self.n_jobs = resolve_n_jobs(n_jobs)
+
+    def create_dataplane(self):
+        from .dataplane import DataPlane
+
+        return DataPlane()
 
     def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         if not tasks:
@@ -281,6 +303,11 @@ class ProcessExecutor(BaseExecutor):
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self.poll_interval = float(poll_interval)
+
+    def create_dataplane(self):
+        from .dataplane import SharedMemoryPlane
+
+        return SharedMemoryPlane()
 
     def map_tasks(self, fn, tasks, timeout=None, deadline=None):
         if not tasks:

@@ -27,11 +27,21 @@ Frames are length-prefixed pickles: a 4-byte big-endian payload size
 followed by the pickled message tuple.  Client to server::
 
     ("task", index, fn, task, timeout, deadline_remaining)
+    ("blob_has", digest)
+    ("blob_put", digest, shape, dtype, payload_bytes)
     ("bye",)
 
 Server to client::
 
     ("outcome", index, value, error, seconds, timed_out, timeout_downgraded)
+    ("blob_state", digest, known)
+
+The ``blob_*`` frames are the remote half of the zero-copy data plane
+(:mod:`repro.exec.dataplane`): base arrays travel once as content-addressed
+blobs (same BLAKE2 digests the evaluation store uses), tasks carry tiny
+``ArrayRef`` slices, and a worker that answers ``blob_has`` affirmatively —
+from memory or from its local :class:`~repro.exec.store.DiskStore` spill
+(``--blob-dir``) — never receives the bytes again.
 
 Tasks whose function/payload cannot be pickled (e.g. closures) cannot
 cross the wire; they fall back to inline execution in the calling process
@@ -56,8 +66,20 @@ import struct
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from .dataplane import (
+    DataPlane,
+    blob_is_known,
+    ensure_task_blobs,
+    evict_spilled_blobs,
+    hydrate_task,
+    install_blob,
+    publish_blob,
+)
 from .executor import (
     BaseExecutor,
     Deadline,
@@ -68,7 +90,13 @@ from .executor import (
     resolve_n_jobs,
 )
 
-__all__ = ["RemoteExecutor", "WorkerServer", "parse_worker_address"]
+__all__ = [
+    "RemoteExecutor",
+    "WorkerServer",
+    "RemoteBlobPlane",
+    "WireStats",
+    "parse_worker_address",
+]
 
 _FRAME_HEADER = struct.Struct(">I")
 
@@ -106,6 +134,27 @@ def parse_worker_address(spec: str | tuple) -> tuple[str, int]:
     return host, int(port)
 
 
+@dataclass(frozen=True)
+class WireStats:
+    """Bytes-on-wire snapshot of one :class:`RemoteExecutor`.
+
+    ``task_bytes_sent`` counts task frames, ``blob_bytes_sent`` the
+    content-addressed blob pushes (the one-time data-plane transfers), and
+    ``bytes_received`` every reply frame.  The split is what makes the
+    zero-copy win measurable: with the data plane on, ``blob_bytes_sent``
+    is paid once per base array while ``task_bytes_sent`` collapses to the
+    size of the refs.
+    """
+
+    task_bytes_sent: int = 0
+    blob_bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.task_bytes_sent + self.blob_bytes_sent
+
+
 # -- framing -------------------------------------------------------------------
 def _send_frame(sock: socket.socket, message: tuple) -> None:
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
@@ -124,11 +173,13 @@ def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> tuple:
+def _recv_frame(sock: socket.socket, on_bytes=None) -> tuple:
     header = _recv_exactly(sock, _FRAME_HEADER.size)
     (size,) = _FRAME_HEADER.unpack(header)
     if size > _MAX_FRAME_BYTES:
         raise ProtocolError(f"refusing {size}-byte frame (cap {_MAX_FRAME_BYTES})")
+    if on_bytes is not None:
+        on_bytes(size + _FRAME_HEADER.size)
     return pickle.loads(_recv_exactly(sock, size))
 
 
@@ -196,6 +247,18 @@ class WorkerServer:
         the cap queue at the semaphore.
     authkey:
         Optional shared secret for the HMAC handshake.
+    blob_dir:
+        Directory where received data-plane blobs are spilled (a
+        :class:`~repro.exec.store.DiskStore`).  A restarted server answers
+        ``blob_has`` from the spill, so clients never re-send bytes this
+        host has ever seen.  ``None`` keeps blobs in memory only.
+    blob_cache_bytes:
+        In-memory bound for received blobs when a ``blob_dir`` spill
+        exists: least-recently-used spilled blobs are evicted past the
+        cap and transparently re-promoted from disk when a task needs
+        them, so a long-lived server's memory stays bounded.  Without a
+        spill nothing is evicted (dropping un-spilled bytes would force
+        clients to re-send mid-run).
     """
 
     def __init__(
@@ -205,11 +268,20 @@ class WorkerServer:
         n_jobs: int | None = None,
         start_method: str | None = None,
         authkey: bytes | None = None,
+        blob_dir: str | None = None,
+        blob_cache_bytes: int = 4 << 30,
     ):
         self._engine = ProcessExecutor(n_jobs=1, start_method=start_method)
         self.n_jobs = resolve_n_jobs(n_jobs)
         self._slots = threading.BoundedSemaphore(self.n_jobs)
         self.authkey = authkey
+        if blob_dir is not None:
+            from .store import DiskStore
+
+            self._vault = DiskStore(blob_dir)
+        else:
+            self._vault = None
+        self.blob_cache_bytes = int(blob_cache_bytes)
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._closed = threading.Event()
@@ -246,6 +318,9 @@ class WorkerServer:
                     return
                 while True:
                     message = _recv_frame(conn)
+                    if message[0] in ("blob_has", "blob_put"):
+                        _send_frame(conn, self._handle_blob(message))
+                        continue
                     if message[0] != "task":
                         break  # ("bye",) or anything unknown ends the session
                     _, index, fn, task, timeout, deadline_remaining = message
@@ -268,6 +343,28 @@ class WorkerServer:
         except (ConnectionError, EOFError, OSError, pickle.UnpicklingError):
             return  # client went away or spoke garbage; drop the session
 
+    def _handle_blob(self, message: tuple) -> tuple:
+        """Answer one ``blob_has``/``blob_put`` frame with a ``blob_state``."""
+        if message[0] == "blob_has":
+            digest = message[1]
+            known = blob_is_known(digest)
+            if not known and self._vault is not None:
+                spilled = self._vault.get_blob(digest)
+                if spilled is not None:
+                    # Promote to memory so forked task processes inherit it.
+                    install_blob(digest, spilled)
+                    known = True
+            return ("blob_state", digest, bool(known))
+        _, digest, shape, dtype, payload = message
+        publish_blob(digest, shape, dtype, payload)
+        if self._vault is not None:
+            self._vault.put_blob(
+                digest, np.frombuffer(payload, dtype=np.dtype(dtype)).reshape(shape)
+            )
+            # Spilled bytes are recoverable, so bound the in-memory cache.
+            evict_spilled_blobs(self.blob_cache_bytes, self._vault.has_blob)
+        return ("blob_state", digest, True)
+
     def _run_task(
         self,
         fn: Callable[[Any], Any],
@@ -281,6 +378,16 @@ class WorkerServer:
         # busy worker whose reply is merely queued must still answer within
         # the budget rather than be misdiagnosed as dead.
         deadline = None if deadline_remaining is None else Deadline(deadline_remaining)
+        if self._vault is not None:
+            # Refs may point at blobs the LRU cap evicted to disk meanwhile.
+            ensure_task_blobs(task, self._vault.get_blob)
+        if self._engine.start_method != "fork":
+            # Task processes that are not forked cannot inherit the blob
+            # registry; materialize refs here and proceed by value.
+            try:
+                task = hydrate_task(task)
+            except LookupError as exc:
+                return TaskOutcome(index=-1, error=repr(exc))
         wait_start = time.monotonic()
         # The local process engine supplies enforced timeouts, in-flight
         # deadline termination and dead-task-process reporting; the
@@ -315,6 +422,7 @@ class _WorkerLane:
         self.address = address
         self.executor = executor
         self.sock: socket.socket | None = None
+        self._synced_blobs: set[str] = set()
 
     def connect(self) -> None:
         self.sock = socket.create_connection(
@@ -329,6 +437,42 @@ class _WorkerLane:
             if hasattr(socket, option):
                 self.sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
         _client_authenticate(self.sock, self.executor.authkey)
+        self._sync_blobs()
+
+    def _sync_blobs(self) -> None:
+        """Ensure the worker holds every registered data-plane blob.
+
+        Runs on every (re)connect, before any task crosses this lane: a
+        ``blob_has`` probe per registered digest, and the bytes only when
+        the worker has never seen them (they persist in the server process
+        — and its ``--blob-dir`` spill — across connections and runs).
+        """
+        executor = self.executor
+        for digest, base in executor._blob_roster_snapshot():
+            if digest in self._synced_blobs:
+                continue
+            self.sock.settimeout(executor.connect_timeout)
+            _send_frame(self.sock, ("blob_has", digest))
+            reply = _recv_frame(self.sock, executor._count_received)
+            if reply[0] != "blob_state" or reply[1] != digest:
+                raise ProtocolError(f"unexpected reply {reply[0]!r} to blob_has")
+            if not reply[2]:
+                payload = np.ascontiguousarray(base).tobytes()
+                frame = pickle.dumps(
+                    ("blob_put", digest, tuple(base.shape), base.dtype.str, payload),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                del payload  # pickled into the frame; no third resident copy
+                self.sock.settimeout(None)  # big frame: pace set by the wire
+                # Header and frame go out separately: concatenating would
+                # materialize yet another full-size transient buffer.
+                self.sock.sendall(_FRAME_HEADER.pack(len(frame)))
+                self.sock.sendall(frame)
+                executor._count_blob_sent(len(frame) + _FRAME_HEADER.size)
+                reply = _recv_frame(self.sock, executor._count_received)
+                if reply[0] != "blob_state" or not reply[2]:
+                    raise ProtocolError("worker did not acknowledge blob_put")
+            self._synced_blobs.add(digest)
 
     def close(self) -> None:
         if self.sock is not None:
@@ -384,8 +528,9 @@ class _WorkerLane:
             # sendall raised, so the frame is incomplete: the worker cannot
             # have parsed (let alone run) the task — safe to hand elsewhere.
             raise LaneConnectError(f"send failed: {exc}") from exc
+        self.executor._count_task_sent(len(frame) + _FRAME_HEADER.size)
         kind, reply_index, value, error, seconds, timed_out, downgraded = _recv_frame(
-            self.sock
+            self.sock, self.executor._count_received
         )
         if kind != "outcome" or reply_index != index:
             raise ProtocolError(f"unexpected reply {kind!r} for task {index}")
@@ -434,6 +579,67 @@ class RemoteExecutor(BaseExecutor):
         self.authkey = authkey
         self.connect_timeout = float(connect_timeout)
         self.reply_grace = float(reply_grace)
+        # Data-plane state: registered base arrays (pushed to workers as
+        # content-addressed blobs at lane connect) and wire accounting.
+        self._blob_roster: dict[str, tuple[Any, int]] = {}
+        self._roster_lock = threading.Lock()
+        self._wire_lock = threading.Lock()
+        self._task_bytes_sent = 0
+        self._blob_bytes_sent = 0
+        self._bytes_received = 0
+
+    # -- data plane ------------------------------------------------------------
+    def create_dataplane(self) -> "RemoteBlobPlane":
+        return RemoteBlobPlane(self)
+
+    def _blob_roster_snapshot(self) -> list[tuple[str, Any]]:
+        with self._roster_lock:
+            return [(digest, base) for digest, (base, _) in self._blob_roster.items()]
+
+    def _roster_add(self, digest: str, base) -> None:
+        with self._roster_lock:
+            held, count = self._blob_roster.get(digest, (base, 0))
+            self._blob_roster[digest] = (held, count + 1)
+
+    def _roster_remove(self, digest: str) -> None:
+        with self._roster_lock:
+            entry = self._blob_roster.get(digest)
+            if entry is None:
+                return
+            base, count = entry
+            if count <= 1:
+                del self._blob_roster[digest]
+            else:
+                self._blob_roster[digest] = (base, count - 1)
+
+    # -- wire accounting -------------------------------------------------------
+    def _count_task_sent(self, n: int) -> None:
+        with self._wire_lock:
+            self._task_bytes_sent += n
+
+    def _count_blob_sent(self, n: int) -> None:
+        with self._wire_lock:
+            self._blob_bytes_sent += n
+
+    def _count_received(self, n: int) -> None:
+        with self._wire_lock:
+            self._bytes_received += n
+
+    @property
+    def wire_stats(self) -> WireStats:
+        """Snapshot of the bytes sent/received since the last reset."""
+        with self._wire_lock:
+            return WireStats(
+                task_bytes_sent=self._task_bytes_sent,
+                blob_bytes_sent=self._blob_bytes_sent,
+                bytes_received=self._bytes_received,
+            )
+
+    def reset_wire_stats(self) -> None:
+        with self._wire_lock:
+            self._task_bytes_sent = 0
+            self._blob_bytes_sent = 0
+            self._bytes_received = 0
 
     @classmethod
     def from_env(cls, variable: str = "REPRO_REMOTE_WORKERS") -> "RemoteExecutor":
@@ -536,6 +742,39 @@ class RemoteExecutor(BaseExecutor):
         return f"{type(self).__name__}(workers=[{addresses}])"
 
 
+class RemoteBlobPlane(DataPlane):
+    """Data plane of the remote backend: bases travel as one-time blobs.
+
+    ``register`` pins the base locally (for slice fingerprinting and the
+    inline-execution fallback) and enrolls it in the owning executor's
+    blob roster; every dispatch lane pushes missing blobs — keyed by the
+    same BLAKE2 digests the evaluation store uses — right after its
+    handshake, so a worker that has ever seen a digest never receives the
+    bytes again and tasks ship only tiny ``ArrayRef`` slices.
+    """
+
+    def __init__(self, executor: RemoteExecutor):
+        super().__init__()
+        self.executor = executor
+        self._enrolled: list[str] = []
+
+    def _pin(self, digest, base):
+        if base.nbytes + 65536 > _MAX_FRAME_BYTES:
+            # A blob_put frame this large would be refused by the server's
+            # frame cap and kill every lane; ship this input by value.
+            return None
+        ref = super()._pin(digest, base)
+        self.executor._roster_add(digest, base)
+        self._enrolled.append(digest)
+        return ref
+
+    def close(self) -> None:
+        enrolled, self._enrolled = self._enrolled, []
+        for digest in enrolled:
+            self.executor._roster_remove(digest)
+        super().close()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.exec.remote``: run a worker server until killed."""
     import argparse
@@ -552,6 +791,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="shared secret for the HMAC handshake (or set REPRO_REMOTE_AUTHKEY)",
     )
+    parser.add_argument(
+        "--blob-dir",
+        default=None,
+        help="spill received data-plane blobs here so restarts skip re-sends",
+    )
     args = parser.parse_args(argv)
     authkey = args.authkey or os.environ.get("REPRO_REMOTE_AUTHKEY")
     server = WorkerServer(
@@ -559,6 +803,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         port=args.port,
         n_jobs=args.jobs,
         authkey=authkey.encode("utf-8") if authkey else None,
+        blob_dir=args.blob_dir,
     )
     host, port = server.address
     print(f"[worker] serving on {host}:{port} (pid {os.getpid()})", flush=True)

@@ -292,6 +292,55 @@ class DiskStore:
         except OSError:
             pass
 
+    # -- blobs -----------------------------------------------------------------
+    # Array blobs share the store's content-address scheme but live as raw
+    # ``.npy`` files (JSON-encoding megabytes of floats would be absurd).
+    # The remote data plane spills received base arrays here so a restarted
+    # worker server still answers ``blob_has`` without a re-send.
+    def blob_path(self, digest: str) -> Path:
+        """Blob location for one digest (same two-char sharding as records)."""
+        return self.cache_dir / "blobs" / digest[:2] / f"{digest}.npy"
+
+    def put_blob(self, digest: str, array) -> bool:
+        """Persist one array blob atomically; False when the write failed."""
+        import numpy as np
+
+        path = self.blob_path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npy"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.save(handle, np.asarray(array), allow_pickle=False)
+                os.replace(temp_name, path)
+            except OSError:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, ValueError):
+            return False
+        return True
+
+    def get_blob(self, digest: str):
+        """Load one array blob, evicting unreadable files (``None`` on miss)."""
+        import numpy as np
+
+        path = self.blob_path(digest)
+        try:
+            return np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+
+    def has_blob(self, digest: str) -> bool:
+        return self.blob_path(digest).is_file()
+
     # -- maintenance -----------------------------------------------------------
     def __len__(self) -> int:
         if not self.cache_dir.is_dir():

@@ -23,6 +23,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from .dataplane import ArrayRef, resolve_array
+
 __all__ = [
     "FitScoreTask",
     "FitScoreResult",
@@ -43,12 +45,19 @@ def _apply_horizon(model: Any, horizon: int) -> None:
 
 @dataclass
 class FitScoreTask:
-    """One independent (pipeline template, allocation slice) evaluation."""
+    """One independent (pipeline template, allocation slice) evaluation.
+
+    ``train``/``test`` are either array values or zero-copy
+    :class:`~repro.exec.dataplane.ArrayRef` slices of a base array the
+    caller registered with the execution engine's data plane; the runner
+    resolves refs in the worker, so a ref task pickles in bytes instead
+    of megabytes.
+    """
 
     tag: Any
     template: Any
-    train: np.ndarray
-    test: np.ndarray
+    train: np.ndarray | ArrayRef
+    test: np.ndarray | ArrayRef
     horizon: int
     scorer: Callable[[Any, np.ndarray], float] | None = None
 
@@ -84,13 +93,15 @@ def run_fit_score_task(task: FitScoreTask) -> FitScoreResult:
 
     start = time.perf_counter()
     try:
+        train = resolve_array(task.train)
+        test = resolve_array(task.test)
         candidate = clone(task.template)
         _apply_horizon(candidate, task.horizon)
-        candidate.fit(task.train)
+        candidate.fit(train)
         if task.scorer is not None:
-            score = float(task.scorer(candidate, task.test))
+            score = float(task.scorer(candidate, test))
         else:
-            score = float(candidate.score(task.test, horizon=len(task.test)))
+            score = float(candidate.score(test, horizon=len(test)))
         error = ""
     except Exception as exc:  # noqa: BLE001 - failures become -inf scores
         score = float("-inf")
@@ -106,12 +117,17 @@ def run_fit_score_task(task: FitScoreTask) -> FitScoreResult:
 
 @dataclass
 class ToolkitRunTask:
-    """One (dataset, toolkit) cell of the benchmark matrix."""
+    """One (dataset, toolkit) cell of the benchmark matrix.
+
+    Like :class:`FitScoreTask`, ``train``/``test`` may be data-plane
+    :class:`~repro.exec.dataplane.ArrayRef` slices instead of array
+    values.
+    """
 
     tag: Any
     factory: Callable[[int], Any]
-    train: np.ndarray
-    test: np.ndarray
+    train: np.ndarray | ArrayRef
+    test: np.ndarray | ArrayRef
     horizon: int
     evaluation_window: int | None = None
 
@@ -138,15 +154,17 @@ def run_toolkit_task(task: ToolkitRunTask) -> ToolkitRunResult:
     window = min(window, len(task.test))
     start = time.perf_counter()
     try:
+        train = resolve_array(task.train)
+        test = resolve_array(task.test)
         model = task.factory(task.horizon)
-        model.fit(task.train)
+        model.fit(train)
         elapsed = time.perf_counter() - start
         forecast = np.asarray(model.predict(window), dtype=float)
         if forecast.ndim == 1:
             forecast = forecast.reshape(-1, 1)
         if not np.all(np.isfinite(forecast)):
             raise ValueError("forecast contains non-finite values")
-        error_value = smape(task.test[:window], forecast[:window])
+        error_value = smape(test[:window], forecast[:window])
         return ToolkitRunResult(tag=task.tag, smape=float(error_value), seconds=float(elapsed))
     except Exception as exc:  # noqa: BLE001 - failures become "0 (0)" entries
         elapsed = time.perf_counter() - start

@@ -78,10 +78,18 @@ class WindowRegressor(BaseForecaster):
         self.models_: list[BaseRegressor] = []
         target_horizon = horizon if self.strategy == "direct" else 1
 
+        # The lag matrix is identical for every output series, so it is
+        # framed once (a vectorized sliding_window_view inside) with the
+        # all-series targets; each per-column model then trains on its own
+        # slice of the target block instead of re-framing the series.
+        features, all_targets = make_supervised_windows(X, lookback, target_horizon)
+        all_targets = np.asarray(all_targets).reshape(
+            len(features), target_horizon, X.shape[1]
+        )
         for column in range(X.shape[1]):
-            features, targets = make_supervised_windows(
-                X, lookback, target_horizon, target_column=column
-            )
+            targets = np.ascontiguousarray(all_targets[:, :, column])
+            if target_horizon == 1:
+                targets = targets.ravel()
             model = clone(base)
             model.fit(features, targets)
             self.models_.append(model)

@@ -62,20 +62,21 @@ def make_supervised_windows(
             f"and horizon={horizon}."
         )
 
-    feature_list = []
-    target_list = []
-    for start in range(n_windows):
-        window = X[start : start + lookback]
-        future = X[start + lookback : start + lookback + horizon]
-        if target_column is not None:
-            future = future[:, [target_column]]
-        feature_list.append(window)
-        target_list.append(future.ravel())
+    # Strided framing: sliding_window_view yields (n - w + 1, n_series, w)
+    # with the window on the last axis; transposing to time-major
+    # (window, step, series) reproduces the per-window layout of the naive
+    # ``X[start : start + w]`` loop, and one vectorized copy materializes
+    # the whole lag matrix.
+    feature_view = np.lib.stride_tricks.sliding_window_view(X, lookback, axis=0)
+    features = feature_view[:n_windows].transpose(0, 2, 1).copy()
+    target_view = np.lib.stride_tricks.sliding_window_view(X, horizon, axis=0)
+    targets = target_view[lookback : lookback + n_windows].transpose(0, 2, 1)
+    if target_column is not None:
+        targets = targets[:, :, [target_column]]
+    targets = targets.copy().reshape(n_windows, -1)
 
-    features = np.stack(feature_list)
     if flatten:
         features = features.reshape(n_windows, lookback * n_series)
-    targets = np.stack(target_list)
     if targets.shape[1] == 1:
         targets = targets.ravel()
     return features, targets
@@ -114,7 +115,11 @@ class SlidingWindowFramer(BaseTransformer):
         if n_windows <= 0:
             shape = (0, lookback * X.shape[1]) if self.flatten else (0, lookback, X.shape[1])
             return np.empty(shape)
-        windows = np.stack([X[i : i + lookback] for i in range(n_windows)])
+        windows = (
+            np.lib.stride_tricks.sliding_window_view(X, lookback, axis=0)
+            .transpose(0, 2, 1)
+            .copy()
+        )
         if self.flatten:
             return windows.reshape(n_windows, lookback * X.shape[1])
         return windows

@@ -421,6 +421,97 @@ class TestSharedManifestProtocol:
         assert plain_path.read_bytes() == shared_path.read_bytes()
 
 
+def _age_claims(manifest: SharedManifest, seconds: float) -> None:
+    """Rewind every timestamp in the claim sidecar by ``seconds``."""
+    record = json.loads(manifest.claims_path.read_text(encoding="utf-8"))
+    for claim in record["claims"]:
+        for field in ("claimed_at", "heartbeat"):
+            if field in claim:
+                claim[field] -= seconds
+    manifest.claims_path.write_text(json.dumps(record), encoding="utf-8")
+
+
+class TestStaleClaimRecovery:
+    def test_stale_claim_is_reclaimable_with_threshold(self, tmp_path):
+        path = tmp_path / "m.json"
+        dead = SharedManifest(path, "fp", worker="dead")
+        assert dead.claim([("d1", "t1")]) == {("d1", "t1")}
+        _age_claims(dead, 3600.0)  # the worker "died" an hour ago
+        rescuer = SharedManifest(path, "fp", worker="rescuer", reclaim_stale=60.0)
+        assert rescuer.claim([("d1", "t1")]) == {("d1", "t1")}
+        # Takeover is recorded: one claim, ours, naming the dead owner.
+        record = json.loads(rescuer.claims_path.read_text(encoding="utf-8"))
+        assert len(record["claims"]) == 1
+        assert record["claims"][0]["worker"] == "rescuer"
+        assert record["claims"][0]["reclaimed_from"] == "dead"
+
+    def test_without_threshold_stale_claims_stay_blocked(self, tmp_path):
+        path = tmp_path / "m.json"
+        dead = SharedManifest(path, "fp", worker="dead")
+        dead.claim([("d1", "t1")])
+        _age_claims(dead, 3600.0)
+        conservative = SharedManifest(path, "fp", worker="peer")
+        assert conservative.claim([("d1", "t1")]) == set()
+
+    def test_fresh_claims_are_never_stolen(self, tmp_path):
+        path = tmp_path / "m.json"
+        alive = SharedManifest(path, "fp", worker="alive")
+        alive.claim([("d1", "t1")])
+        eager = SharedManifest(path, "fp", worker="eager", reclaim_stale=60.0)
+        assert eager.claim([("d1", "t1")]) == set()
+
+    def test_heartbeat_keeps_a_slow_worker_alive(self, tmp_path):
+        path = tmp_path / "m.json"
+        slow = SharedManifest(path, "fp", worker="slow")
+        slow.claim([("d1", "t1")])
+        _age_claims(slow, 3600.0)
+        slow.heartbeat()  # still alive: refreshes the liveness timestamp
+        record = json.loads(slow.claims_path.read_text(encoding="utf-8"))
+        assert record["claims"][0]["heartbeat"] > record["claims"][0]["claimed_at"]
+        rescuer = SharedManifest(path, "fp", worker="rescuer", reclaim_stale=60.0)
+        assert rescuer.claim([("d1", "t1")]) == set()
+
+    def test_runner_heartbeats_its_claims_at_checkpoints(self, tmp_path):
+        path = tmp_path / "m.json"
+        runner = BenchmarkRunner(
+            horizon=4, manifest_path=str(path), worker_id="beater"
+        )
+        runner.run(_toy_datasets(), _toy_toolkits())
+        record = json.loads((tmp_path / "m.json.claims.json").read_text())
+        assert record["claims"], "worker left no claim records"
+        assert all("heartbeat" in claim for claim in record["claims"])
+
+    def test_dead_workers_cells_recomputed_end_to_end(self, tmp_path):
+        """The ROADMAP scenario: a SIGKILLed worker must not wedge the run."""
+        path = tmp_path / "m.json"
+        spec_datasets, spec_toolkits = _toy_datasets(), _toy_toolkits()
+        fingerprint = suite_fingerprint(
+            {k: np.asarray(v, dtype=float) for k, v in spec_datasets.items()},
+            spec_toolkits,
+            horizon=4,
+            train_fraction=0.8,
+            evaluation_window=None,
+        )
+        # A worker claims every cell and "dies" without releasing anything.
+        dead = SharedManifest(path, fingerprint, worker="dead")
+        dead.claim([(d, t) for d in spec_datasets for t in spec_toolkits])
+        _age_claims(dead, 3600.0)
+
+        blocked = BenchmarkRunner(
+            horizon=4, manifest_path=str(path), worker_id="survivor"
+        ).run(spec_datasets, spec_toolkits)
+        assert len(blocked.runs) == 0  # conservative default: still wedged
+
+        rescued = BenchmarkRunner(
+            horizon=4,
+            manifest_path=str(path),
+            worker_id="survivor",
+            reclaim_stale=60.0,
+        ).run(spec_datasets, spec_toolkits)
+        assert len(rescued.runs) == len(spec_datasets) * len(spec_toolkits)
+        assert not any(run.failed for run in rescued.runs)
+
+
 class _CountingForecaster(ZeroModelForecaster):
     """Forecaster that logs every fit as ``(toolkit label, dataset marker)``.
 

@@ -452,8 +452,13 @@ def _fixed_seed_series():
 
 
 class TestParallelTDaub:
-    def test_parallel_matches_serial_exactly(self):
-        """Same ranking AND same per-pipeline score histories on every backend."""
+    @pytest.mark.parametrize("dataplane", [True, False], ids=["by-ref", "by-value"])
+    def test_parallel_matches_serial_exactly(self, dataplane):
+        """Same ranking AND same per-pipeline score histories on every backend.
+
+        Runs with the zero-copy data plane on and off: shipping slices by
+        reference must be invisible in every result.
+        """
         series = _fixed_seed_series()
         reference = None
         for executor in ("serial", "threads", "processes"):
@@ -463,6 +468,7 @@ class TestParallelTDaub:
                 run_to_completion=2,
                 n_jobs=2,
                 executor=executor,
+                dataplane=dataplane,
             ).fit(series)
             current = (
                 selector.ranked_names_,
