@@ -18,6 +18,12 @@ manifest into the full summary::
     wait
     python -m repro.benchmarking --manifest runs/m.json --resume
 
+With ``--store-url`` the manifest, claim sidecar and evaluation records
+live in a shared object store (``python -m repro.store.server``) instead
+of the filesystem, so the workers may run on different hosts with no
+shared mount; ``--manifest`` then names the manifest *document* inside
+the store.
+
 ``--resume`` merges a previous manifest of the same suite; without it an
 existing manifest is overwritten.  ``--resume-strict`` additionally *fails*
 (exit code 2) when no resumable manifest exists, instead of quietly
@@ -148,7 +154,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="persistent evaluation store for the AutoAI-TS cells",
+        help="persistent evaluation store for the AutoAI-TS cells "
+        "(a local directory; see --store-url for the no-shared-filesystem path)",
+    )
+    parser.add_argument(
+        "--store-url",
+        default=None,
+        metavar="URL",
+        help="object-store URL (python -m repro.store.server) holding the "
+        "manifest, claim sidecar and evaluation records — lets shard "
+        "workers on different hosts share one run with no shared filesystem",
     )
     parser.add_argument(
         "--autoai", action="store_true", help="include the AutoAI-TS toolkit column"
@@ -237,6 +252,26 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --resume/--resume-strict require --manifest", file=sys.stderr)
         return 2
 
+    store = None
+    if args.store_url is not None:
+        if args.cache_dir is not None:
+            print(
+                "error: --store-url and --cache-dir are two homes for the same "
+                "records; pick one (the object store replaces the local directory)",
+                file=sys.stderr,
+            )
+            return 2
+        from ..store import ObjectStoreBackend
+
+        store = ObjectStoreBackend(args.store_url)
+        if not store.healthy():
+            print(
+                f"error: no object store answering at {args.store_url} "
+                "(start one with: python -m repro.store.server)",
+                file=sys.stderr,
+            )
+            return 2
+
     profile = FULL_PROFILE if args.profile == "full" else FAST_PROFILE
     if args.suite == "tiny":
         datasets = _tiny_suite()
@@ -253,7 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         # even on backends that cannot preempt it.
         toolkits = {
             **autoai_toolkit_factories(
-                cache_dir=args.cache_dir, budget=args.max_train_seconds
+                cache_dir=args.cache_dir, store=store, budget=args.max_train_seconds
             ),
             **toolkits,
         }
@@ -283,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
         n_jobs=args.jobs,
         executor=executor,
         manifest_path=args.manifest,
+        store=store,
         worker_id=worker_id,
         reclaim_stale=args.reclaim_stale,
         dataplane=not args.no_dataplane,
@@ -315,11 +351,13 @@ def main(argv: list[str] | None = None) -> int:
             # A merging (coordinator) invocation still reports which shard
             # worker computed each cell, from the claim sidecar.
             sidecar = SharedManifest(
-                manifest.path, manifest.fingerprint, worker="provenance-reader"
+                manifest.path,
+                manifest.fingerprint,
+                worker="provenance-reader",
+                backend=store,
             )
-        # Never-sharded runs have no sidecar; reading through the manifest
-        # lock would needlessly litter a plain run with a .lock file.
-        if sidecar.claims_path.exists():
+        # Never-sharded runs have no sidecar (wherever it would live).
+        if sidecar.has_claims():
             reported = {(run.dataset, run.toolkit) for run in results.runs}
             provenance = {
                 cell: worker
@@ -340,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": results.dataset_names,
         "toolkits": results.toolkit_names,
         "manifest": args.manifest,
+        "store_url": args.store_url,
         "resumed": bool(resume),
         "shard": None if shard is None else f"{shard[0] + 1}/{shard[1]}",
         "worker_id": worker_id,

@@ -148,15 +148,19 @@ def autoai_toolkit_factories(
     n_jobs: int | None = None,
     executor=None,
     cache_dir: str | None = None,
+    store=None,
     budget: float | None = None,
 ) -> Dict[str, ToolkitFactory]:
     """Factory for AutoAI-TS itself (10 internal pipelines, zero-conf).
 
     ``n_jobs``/``executor`` are forwarded to T-Daub so the inner pipeline
     ranking can itself run parallel inside one benchmark cell;
-    ``cache_dir`` points that ranking at a persistent evaluation store
-    shared across cells and runs, and ``budget`` bounds each cell's
-    ranking phase in wall-clock seconds on every backend.
+    ``cache_dir`` (a shared directory) or ``store`` (any
+    :class:`~repro.store.StoreBackend` or store URL — e.g. an object
+    store no two cells need a common mount for) points that ranking at a
+    persistent evaluation store shared across cells and runs, and
+    ``budget`` bounds each cell's ranking phase in wall-clock seconds on
+    every backend.
     """
 
     def make(horizon: int) -> AutoAITS:
@@ -167,6 +171,7 @@ def autoai_toolkit_factories(
             n_jobs=n_jobs,
             executor=executor,
             cache_dir=cache_dir,
+            store=store,
             budget=budget,
         )
 

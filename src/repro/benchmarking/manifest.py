@@ -22,14 +22,25 @@ Manifests are written canonically (cells sorted by ``(dataset, toolkit)``,
 atomic write-then-rename), so two runs of the same suite — sharded or not,
 interrupted or not — converge on byte-identical manifest files.
 
-:class:`SharedManifest` extends the ledger to **concurrent shard workers**
-writing into one manifest file.  Two protocols make that safe:
+Manifests and claim sidecars are **documents** of a pluggable
+:class:`~repro.store.StoreBackend`: by default they are plain files (the
+historical contract — ``--manifest runs/tiny.json`` is a path), but a
+runner handed an :class:`~repro.store.ObjectStoreBackend` keeps them in
+the shared object store instead, so shard workers on different hosts
+need no shared filesystem at all.
 
-- *merge-under-lock*: a flush re-reads the on-disk manifest and writes the
-  union of its cells and ours while holding a :class:`~repro.exec.store.
-  FileLock`, so late flushes never clobber another worker's cells;
+:class:`SharedManifest` extends the ledger to **concurrent shard workers**
+writing into one manifest document.  Two protocols make that safe, both
+expressed as the backend's atomic read-modify-write
+(:meth:`~repro.store.StoreBackend.update_doc` — an advisory ``flock``
+lease on the local filesystem, an ETag-conditional-PUT compare-and-swap
+loop against the object store):
+
+- *merge-on-flush*: a flush re-reads the stored manifest and publishes
+  the union of its cells and ours in one update, so late flushes never
+  clobber another worker's cells;
 - *cell claims*: before running a cell, a worker claims it in a sidecar
-  file (``<manifest>.claims.json``) under the same lock.  A cell that is
+  document (``<manifest>.claims.json``) in one update.  A cell that is
   already recorded, or claimed by another worker, is not granted — so two
   workers handed overlapping slices still never double-run a cell.  The
   sidecar doubles as the run's provenance record: which worker computed
@@ -42,15 +53,16 @@ import dataclasses
 import hashlib
 import json
 import os
+import secrets
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
 from ..exec.cache import _array_fingerprint
-from ..exec.store import FileLock, atomic_write_text
+from ..store import LocalFSBackend, StoreBackend
 from .results import ToolkitRun
 
 __all__ = [
@@ -193,6 +205,11 @@ class RunManifest:
         The JSON-able suite spec behind the fingerprint (see
         :func:`suite_spec`).  Stored in the manifest so a mismatching later
         invocation can name the knobs that diverged.
+    backend:
+        Storage backend holding the manifest document.  ``None`` (default)
+        keeps the historical behavior: ``path`` is a filesystem location,
+        written atomically.  An :class:`~repro.store.ObjectStoreBackend`
+        stores the document under the same name in the shared store.
     """
 
     def __init__(
@@ -200,12 +217,19 @@ class RunManifest:
         path: str | os.PathLike,
         fingerprint: str,
         spec: Mapping[str, Any] | None = None,
+        backend: StoreBackend | None = None,
     ):
         self.path = Path(path)
+        self.backend = backend if backend is not None else LocalFSBackend()
         self.fingerprint = fingerprint
         self.spec = dict(spec) if spec is not None else None
         self._cells: dict[tuple[str, str], ToolkitRun] = {}
         self.resumed = False
+
+    @property
+    def doc_name(self) -> str:
+        """Backend document name of the manifest (its path, verbatim)."""
+        return str(self.path)
 
     # -- loading ---------------------------------------------------------------
     def load(self, strict: bool = False) -> bool:
@@ -222,29 +246,36 @@ class RunManifest:
         problem = None
         cells: Any = []
         try:
-            record = json.loads(self.path.read_text(encoding="utf-8"))
-            if not isinstance(record, dict):
-                raise ValueError("manifest is not an object")
-            if record.get("schema") != MANIFEST_SCHEMA_VERSION:
-                problem = (
-                    f"manifest schema {record.get('schema')!r} does not match the "
-                    f"current schema {MANIFEST_SCHEMA_VERSION}"
-                )
-            elif record.get("fingerprint") != self.fingerprint:
-                problem = (
-                    "suite fingerprint mismatch — "
-                    + _describe_spec_mismatch(self.spec, record.get("suite"))
-                )
-            else:
-                cells = record.get("cells", [])
-        except FileNotFoundError:
+            text = self.backend.read_doc(self.doc_name)
+        except (OSError, ValueError) as exc:
+            text = None
+            problem = f"manifest is unreadable ({exc})"
+        if text is None and problem is None:
             if strict:
                 raise ManifestMismatchError(
-                    f"strict resume: no manifest exists at {self.path}"
-                ) from None
+                    f"strict resume: no manifest exists at {self.path} "
+                    f"({self.backend.describe()})"
+                )
             return False
-        except (OSError, ValueError, TypeError) as exc:
-            problem = f"manifest is unreadable ({exc})"
+        if problem is None:
+            try:
+                record = json.loads(text)
+                if not isinstance(record, dict):
+                    raise ValueError("manifest is not an object")
+                if record.get("schema") != MANIFEST_SCHEMA_VERSION:
+                    problem = (
+                        f"manifest schema {record.get('schema')!r} does not match the "
+                        f"current schema {MANIFEST_SCHEMA_VERSION}"
+                    )
+                elif record.get("fingerprint") != self.fingerprint:
+                    problem = (
+                        "suite fingerprint mismatch — "
+                        + _describe_spec_mismatch(self.spec, record.get("suite"))
+                    )
+                else:
+                    cells = record.get("cells", [])
+            except (ValueError, TypeError) as exc:
+                problem = f"manifest is unreadable ({exc})"
         if problem is not None:
             message = (
                 f"Not resuming from {self.path}: {problem}. Every cell of this "
@@ -298,8 +329,8 @@ class RunManifest:
         return record
 
     def flush(self) -> None:
-        """Atomically write the manifest with every cell recorded so far."""
-        atomic_write_text(self.path, json.dumps(self._record_document(), indent=1))
+        """Atomically publish the manifest with every cell recorded so far."""
+        self.backend.write_doc(self.doc_name, json.dumps(self._record_document(), indent=1))
 
     def __repr__(self) -> str:
         return (
@@ -308,18 +339,28 @@ class RunManifest:
         )
 
 
+class _AbortUpdate(Exception):
+    """Raised inside an ``update_doc`` function to leave the doc untouched."""
+
+
 class SharedManifest(RunManifest):
     """A run manifest safely shared by concurrent shard workers.
 
-    Adds two lock-guarded protocols on top of :class:`RunManifest` (see the
-    module docstring): merge-under-lock flushes and the cell-claim sidecar.
+    Adds two atomic-update protocols on top of :class:`RunManifest` (see
+    the module docstring): merge-on-flush and the cell-claim sidecar.
+    Both run through :meth:`~repro.store.StoreBackend.update_doc`, so
+    mutual exclusion is the backend's best mechanism — ``flock`` on a
+    local filesystem, conditional PUT against an object store — and this
+    class never touches a lock directly.
 
     Parameters
     ----------
     worker:
         Identity recorded with this worker's claims (e.g. ``"shard-1/2"``).
     lock_timeout:
-        Seconds to wait for the manifest lock before failing loudly.
+        Seconds to wait for a document lease before failing loudly (only
+        meaningful for the default local backend; a custom ``backend``
+        brings its own contention policy).
     reclaim_stale:
         Age in seconds after which *another* worker's claim counts as
         abandoned and may be taken over.  A claim's age is measured from
@@ -339,56 +380,81 @@ class SharedManifest(RunManifest):
         worker: str = "",
         lock_timeout: float = 60.0,
         reclaim_stale: float | None = None,
+        backend: StoreBackend | None = None,
     ):
-        super().__init__(path, fingerprint, spec)
+        if backend is None:
+            backend = LocalFSBackend(lock_timeout=lock_timeout)
+        super().__init__(path, fingerprint, spec, backend=backend)
         self.worker = worker or f"worker-{os.getpid()}"
         self.reclaim_stale = None if reclaim_stale is None else float(reclaim_stale)
         self._granted: set[tuple[str, str]] = set()
-        self._lock = FileLock(self.path.with_name(self.path.name + ".lock"), timeout=lock_timeout)
+        # Every claim this object persists carries this nonce.  Worker
+        # *names* are display labels, not credentials — only the token
+        # says "that persisted claim is literally mine".  This is what
+        # keeps a retried claim update idempotent: a conditional PUT whose
+        # first attempt was applied but whose response was lost re-runs
+        # the grant against a sidecar already containing our entries, and
+        # the token (unlike the name) identifies them as ours to re-grant
+        # instead of counting them as a foreign worker's.
+        self._token = secrets.token_hex(16)
 
     @property
     def claims_path(self) -> Path:
         return self.path.with_name(self.path.name + ".claims.json")
 
-    # -- loading ---------------------------------------------------------------
-    def load(self, strict: bool = False) -> bool:
-        with self._lock:
-            return super().load(strict=strict)
+    @property
+    def claims_doc(self) -> str:
+        """Backend document name of the claim sidecar."""
+        return str(self.claims_path)
 
-    def _merge_from_disk(self) -> None:
+    def has_claims(self) -> bool:
+        """True when a claim sidecar exists (i.e. this run was sharded)."""
+        try:
+            return self.backend.read_doc(self.claims_doc) is not None
+        except OSError:
+            return False
+
+    def _update_doc_if_changed(self, name: str, fn: Callable[[str | None], str]) -> None:
+        """Run one atomic document update; ``fn`` raising aborts writeless."""
+        try:
+            self.backend.update_doc(name, fn)
+        except _AbortUpdate:
+            pass
+
+    def _merge_stored_cells(self, text: str | None) -> None:
         """Fold cells another worker flushed meanwhile into our ledger.
 
         Our own cells win: claims make cell ownership disjoint, so a
         conflict can only be a cell we recomputed after a stale claim was
         cleared — the freshest measurement is ours.
         """
-        try:
-            record = json.loads(self.path.read_text(encoding="utf-8"))
-            if (
-                isinstance(record, dict)
-                and record.get("schema") == MANIFEST_SCHEMA_VERSION
-                and record.get("fingerprint") == self.fingerprint
-            ):
-                self._merge_payloads(record.get("cells", []), from_cache=True)
-        except (OSError, ValueError, TypeError):
+        if text is None:
             return
+        try:
+            record = json.loads(text)
+        except (ValueError, TypeError):
+            return
+        if (
+            isinstance(record, dict)
+            and record.get("schema") == MANIFEST_SCHEMA_VERSION
+            and record.get("fingerprint") == self.fingerprint
+        ):
+            self._merge_payloads(record.get("cells", []), from_cache=True)
 
     # -- claims ----------------------------------------------------------------
-    def _read_claims(self) -> dict:
-        try:
-            record = json.loads(self.claims_path.read_text(encoding="utf-8"))
-            if (
-                isinstance(record, dict)
-                and record.get("fingerprint") == self.fingerprint
-                and isinstance(record.get("claims"), list)
-            ):
-                return record
-        except (OSError, ValueError, TypeError):
-            pass
+    def _parse_claims(self, text: str | None) -> dict:
+        if text is not None:
+            try:
+                record = json.loads(text)
+                if (
+                    isinstance(record, dict)
+                    and record.get("fingerprint") == self.fingerprint
+                    and isinstance(record.get("claims"), list)
+                ):
+                    return record
+            except (ValueError, TypeError):
+                pass
         return {"fingerprint": self.fingerprint, "claims": []}
-
-    def _write_claims(self, record: dict) -> None:
-        atomic_write_text(self.claims_path, json.dumps(record, indent=1))
 
     @staticmethod
     def _claim_freshness(claim: Mapping[str, Any]) -> float:
@@ -411,15 +477,17 @@ class SharedManifest(RunManifest):
     def claim(self, tags: Iterable[tuple[str, str]]) -> set[tuple[str, str]]:
         """Atomically claim the subset of ``tags`` nobody else owns.
 
-        Under the manifest lock: merge the on-disk manifest (cells finished
-        by other workers since our last look), read the claim sidecar, and
-        grant every requested cell that is neither recorded nor already
-        claimed.  *Every* persisted claim counts as taken — worker names
-        are labels, not credentials, so two workers accidentally launched
-        with the same ``--worker-id`` still cannot double-run a cell (only
-        this manifest object's own earlier grants are re-grantable).
-        Granted claims are persisted before the lock is released, so no two
-        workers can ever both believe they own a cell.
+        Merge the stored manifest (cells finished by other workers since
+        our last look), then — in one atomic sidecar update — grant every
+        requested cell that is neither recorded nor already claimed.
+        *Every* persisted claim counts as taken — worker names are labels,
+        not credentials, so two workers accidentally launched with the
+        same ``--worker-id`` still cannot double-run a cell (only this
+        manifest object's own earlier grants are re-grantable).  Granted
+        claims are persisted inside the update (a ``flock`` lease locally,
+        a conditional PUT that either lands or re-runs the grant against
+        the winner's text remotely), so no two workers can ever both
+        believe they own a cell.
 
         With ``reclaim_stale`` set, a claim whose newest
         ``claimed_at``/``heartbeat`` timestamp is older than the threshold
@@ -428,23 +496,41 @@ class SharedManifest(RunManifest):
         ``reclaimed_from``) and the cell granted as if it were free.
         """
         requested = list(tags)
-        with self._lock:
-            # Timestamp under the lock: a claim backdated by a contended
-            # acquire would look instantly stale to reclaim_stale peers.
+        # Cells other workers already *finished* must not be granted:
+        # merge the stored manifest first.  A plain atomic read suffices —
+        # the claim sidecar, not the manifest, is the mutual-exclusion
+        # authority (every recorded cell's claim persists as provenance).
+        try:
+            self._merge_stored_cells(self.backend.read_doc(self.doc_name))
+        except OSError:
+            pass
+        granted: set[tuple[str, str]] = set()
+
+        def transact(text: str | None) -> str:
+            nonlocal granted
+            # Timestamp inside the transaction (re-derived per attempt): a
+            # claim backdated by a contended lease or a lost CAS round
+            # would look instantly stale to reclaim_stale peers.
             now = time.time()
-            self._merge_from_disk()
-            record = self._read_claims()
+            record = self._parse_claims(text)
             stale_owner: dict[tuple[str, str], str] = {}
             taken: set[tuple[str, str]] = set()
+            mine: set[tuple[str, str]] = set()
             for claim in record["claims"]:
                 key = (claim["dataset"], claim["toolkit"])
+                if claim.get("token") == self._token:
+                    # Persisted by this very object — typically by a CAS
+                    # attempt whose success reply was lost in transit.
+                    # Re-grantable, and already in the sidecar.
+                    mine.add(key)
+                    continue
                 if key in self._granted:
                     continue
                 if self._is_stale(claim, now):
                     stale_owner[key] = str(claim.get("worker", ""))
                 else:
                     taken.add(key)
-            granted: set[tuple[str, str]] = set()
+            granted = set()
             reclaimed: set[tuple[str, str]] = set()
             new_entries: list[dict] = []
             for dataset, toolkit in requested:
@@ -454,16 +540,19 @@ class SharedManifest(RunManifest):
                 granted.add(key)
                 if key in stale_owner:
                     reclaimed.add(key)
-                if key not in self._granted:
+                if key not in self._granted and key not in mine:
                     entry = {
                         "dataset": dataset,
                         "toolkit": toolkit,
                         "worker": self.worker,
+                        "token": self._token,
                         "claimed_at": now,
                     }
                     if key in stale_owner:
                         entry["reclaimed_from"] = stale_owner[key]
                     new_entries.append(entry)
+            if not granted:
+                raise _AbortUpdate
             if reclaimed:
                 # Drop the dead worker's records for the cells we took over
                 # (their identity survives in ``reclaimed_from``).
@@ -473,9 +562,10 @@ class SharedManifest(RunManifest):
                     if (claim["dataset"], claim["toolkit"]) not in reclaimed
                 ]
             record["claims"].extend(new_entries)
-            self._granted |= granted
-            if granted:
-                self._write_claims(record)
+            return json.dumps(record, indent=1)
+
+        self._update_doc_if_changed(self.claims_doc, transact)
+        self._granted |= granted
         return granted
 
     def heartbeat(self) -> None:
@@ -487,19 +577,23 @@ class SharedManifest(RunManifest):
         """
         if not self._granted:
             return
-        with self._lock:
+
+        def transact(text: str | None) -> str:
             now = time.time()
-            record = self._read_claims()
+            record = self._parse_claims(text)
             touched = False
             for claim in record["claims"]:
                 if (
-                    claim.get("worker") == self.worker
+                    claim.get("token") == self._token
                     and (claim["dataset"], claim["toolkit"]) in self._granted
                 ):
                     claim["heartbeat"] = now
                     touched = True
-            if touched:
-                self._write_claims(record)
+            if not touched:
+                raise _AbortUpdate
+            return json.dumps(record, indent=1)
+
+        self._update_doc_if_changed(self.claims_doc, transact)
 
     def release_claims(self, tags: Iterable[tuple[str, str]]) -> None:
         """Give up claims for cells this worker will not compute after all.
@@ -511,17 +605,20 @@ class SharedManifest(RunManifest):
         to_release = set(tags) & self._granted
         if not to_release:
             return
-        with self._lock:
-            record = self._read_claims()
+
+        def transact(text: str | None) -> str:
+            record = self._parse_claims(text)
             record["claims"] = [
                 claim
                 for claim in record["claims"]
                 if not (
-                    claim.get("worker") == self.worker
+                    claim.get("token") == self._token
                     and (claim["dataset"], claim["toolkit"]) in to_release
                 )
             ]
-            self._write_claims(record)
+            return json.dumps(record, indent=1)
+
+        self._update_doc_if_changed(self.claims_doc, transact)
         self._granted -= to_release
 
     def provenance(self) -> dict[tuple[str, str], str]:
@@ -531,8 +628,10 @@ class SharedManifest(RunManifest):
         sharded run's manifest stays byte-identical to a single-process
         run's.
         """
-        with self._lock:
-            record = self._read_claims()
+        try:
+            record = self._parse_claims(self.backend.read_doc(self.claims_doc))
+        except OSError:
+            record = {"claims": []}
         return {
             (claim["dataset"], claim["toolkit"]): str(claim.get("worker", ""))
             for claim in record["claims"]
@@ -540,7 +639,10 @@ class SharedManifest(RunManifest):
 
     # -- persistence -----------------------------------------------------------
     def flush(self) -> None:
-        """Merge-then-write under the manifest lock (never clobbers peers)."""
-        with self._lock:
-            self._merge_from_disk()
-            atomic_write_text(self.path, json.dumps(self._record_document(), indent=1))
+        """Merge-then-publish in one atomic update (never clobbers peers)."""
+
+        def transact(text: str | None) -> str:
+            self._merge_stored_cells(text)
+            return json.dumps(self._record_document(), indent=1)
+
+        self.backend.update_doc(self.doc_name, transact)

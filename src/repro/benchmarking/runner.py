@@ -68,6 +68,12 @@ class BenchmarkRunner:
         loud :class:`~repro.benchmarking.manifest.ManifestMismatchWarning`
         naming the mismatched knobs (``run(..., resume="strict")`` raises
         instead).
+    store:
+        Storage backend holding the manifest documents: a
+        :class:`~repro.store.StoreBackend`, an ``http://`` object-store
+        URL, or ``None`` (default) for plain files at ``manifest_path``.
+        With an object store, shard workers on different hosts coordinate
+        claims via conditional PUT and need no shared filesystem.
     worker_id:
         When set, this runner behaves as one **shard worker** of a
         multi-worker run: the manifest becomes a lock-guarded
@@ -103,11 +109,14 @@ class BenchmarkRunner:
         n_jobs: int | None = None,
         executor: str | BaseExecutor | None = None,
         manifest_path: str | None = None,
+        store=None,
         worker_id: str | None = None,
         reclaim_stale: float | None = None,
         dataplane: bool = True,
         verbose: bool = False,
     ):
+        from ..store import open_store
+
         self.horizon = check_horizon(horizon)
         self.train_fraction = check_fraction(train_fraction, "train_fraction")
         self.evaluation_window = evaluation_window
@@ -115,6 +124,7 @@ class BenchmarkRunner:
         self.n_jobs = n_jobs
         self.executor = executor
         self.manifest_path = manifest_path
+        self.store = open_store(store)
         self.worker_id = worker_id
         self.reclaim_stale = None if reclaim_stale is None else float(reclaim_stale)
         self.dataplane = dataplane
@@ -237,9 +247,12 @@ class BenchmarkRunner:
                     spec,
                     worker=self.worker_id,
                     reclaim_stale=self.reclaim_stale,
+                    backend=self.store,
                 )
             else:
-                manifest = RunManifest(self.manifest_path, fingerprint, spec)
+                manifest = RunManifest(
+                    self.manifest_path, fingerprint, spec, backend=self.store
+                )
             if resume and manifest.load(strict=resume == "strict"):
                 self._log(
                     f"resuming from {self.manifest_path}: "

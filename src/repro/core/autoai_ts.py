@@ -91,6 +91,11 @@ class AutoAITS(BaseForecaster):
         of identical (pipeline, data slice, horizon) combinations are
         served from disk across processes and runs — point several
         benchmark shards at one shared directory to split the work.
+    store:
+        The persistent evaluation store itself (overrides ``cache_dir``):
+        a :class:`~repro.store.StoreBackend` or a store location — an
+        ``http://`` object-store URL or a directory path — for shards
+        that share no filesystem.
     dataplane:
         Hand T-Daub the execution backend's zero-copy data plane (the
         default): the training split is registered with the engine once
@@ -120,6 +125,7 @@ class AutoAITS(BaseForecaster):
         n_jobs: int | None = None,
         executor=None,
         cache_dir: str | None = None,
+        store=None,
         dataplane: bool = True,
         budget: float | None = None,
     ):
@@ -138,6 +144,7 @@ class AutoAITS(BaseForecaster):
         self.n_jobs = n_jobs
         self.executor = executor
         self.cache_dir = cache_dir
+        self.store = store
         self.dataplane = dataplane
         self.budget = budget
 
@@ -214,6 +221,7 @@ class AutoAITS(BaseForecaster):
             n_jobs=self.n_jobs,
             executor=self.executor,
             cache_dir=self.cache_dir,
+            store=self.store,
             dataplane=self.dataplane,
             budget=self.budget,
         )

@@ -36,6 +36,7 @@ class Daub(TDaub):
         executor=None,
         memoize: bool = True,
         cache_dir: str | None = None,
+        store=None,
         budget: float | None = None,
     ):
         super().__init__(
@@ -54,6 +55,7 @@ class Daub(TDaub):
             executor=executor,
             memoize=memoize,
             cache_dir=cache_dir,
+            store=store,
             budget=budget,
         )
 
@@ -76,5 +78,6 @@ class Daub(TDaub):
             "executor",
             "memoize",
             "cache_dir",
+            "store",
             "budget",
         )

@@ -159,6 +159,12 @@ class TDaub(BaseEstimator):
         processes and runs.  Requires ``memoize=True`` (the default); a
         warm re-run against the same data serves every evaluation from
         disk.  ``None`` keeps the cache in-memory only.
+    store:
+        The persistent evaluation store itself (overrides ``cache_dir``):
+        any :class:`~repro.store.StoreBackend` or a store location — an
+        ``http://`` URL of a ``python -m repro.store.server`` object
+        store, or a directory path.  Lets shards with no shared
+        filesystem reuse one store.
     budget:
         Wall-clock budget in seconds for the whole ranking run.  Enforced
         cooperatively on every backend: once exhausted, remaining
@@ -187,6 +193,7 @@ class TDaub(BaseEstimator):
         memoize: bool = True,
         dataplane: bool = True,
         cache_dir: str | None = None,
+        store=None,
         budget: float | None = None,
     ):
         self.pipelines = list(pipelines)
@@ -205,6 +212,7 @@ class TDaub(BaseEstimator):
         self.memoize = memoize
         self.dataplane = dataplane
         self.cache_dir = cache_dir
+        self.store = store
         self.budget = budget
 
     # -- helpers -------------------------------------------------------------
@@ -351,7 +359,9 @@ class TDaub(BaseEstimator):
     def _fit(self, T, start_time: float) -> "TDaub":
         self._batch_size = max(1, resolve_n_jobs(self.n_jobs))
         self._cache = (
-            EvaluationCache(cache_dir=self.cache_dir) if self.memoize else None
+            EvaluationCache(cache_dir=self.cache_dir, store=self.store)
+            if self.memoize
+            else None
         )
         self._deadline = Deadline(self.budget) if self.budget is not None else None
         T = as_2d_array(T)

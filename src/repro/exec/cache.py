@@ -16,9 +16,11 @@ equal content hit the same entry while any change in data, parameters or
 horizon misses.  The cache has two tiers:
 
 - an in-memory LRU front tier (always on), and
-- an optional persistent back tier — a :class:`repro.exec.store.DiskStore`
-  under ``cache_dir`` — consulted on memory misses and written through on
-  every insert, so repeated benchmark invocations on the same suites skip
+- an optional persistent back tier — any :class:`repro.store.StoreBackend`
+  (a :class:`~repro.store.LocalFSBackend` under ``cache_dir``, or an
+  :class:`~repro.store.ObjectStoreBackend` for shards with no shared
+  filesystem) — consulted on memory misses and written through on every
+  insert, so repeated benchmark invocations on the same suites skip
   identical fits entirely.
 """
 
@@ -184,25 +186,32 @@ class EvaluationCache:
     cache_dir:
         Directory of the persistent tier.  ``None`` (default) keeps the
         cache memory-only; a path makes every insert write through to a
-        :class:`~repro.exec.store.DiskStore` and every memory miss consult
+        :class:`~repro.store.LocalFSBackend` and every memory miss consult
         it, so entries survive the process and can be shared between
         concurrent runs.
     store:
-        A ready-made store instance (overrides ``cache_dir``); useful for
-        injecting a store with a custom schema version in tests.
+        The persistent tier itself (overrides ``cache_dir``): any
+        :class:`~repro.store.StoreBackend`, an ``http://`` store URL, a
+        directory path, or — for backward compatibility — a raw
+        :class:`~repro.exec.store.DiskStore` (wrapped in place, so tests
+        can still inject one with a custom schema version).
     """
 
     def __init__(
         self,
         max_entries: int | None = None,
         cache_dir: str | None = None,
-        store: DiskStore | None = None,
+        store: "DiskStore | str | Any | None" = None,
     ):
         if max_entries is not None and int(max_entries) < 1:
             raise ValueError("max_entries must be a positive integer or None.")
         self.max_entries = max_entries
         if store is None and cache_dir is not None:
-            store = DiskStore(cache_dir)
+            store = cache_dir
+        if store is not None:
+            from ..store import as_record_backend
+
+            store = as_record_backend(store)
         self.store = store
         self._store: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
-import hashlib
 import os
 import secrets
 import sys
@@ -49,6 +48,8 @@ from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
+
+from ..store.digest import array_digest
 
 __all__ = [
     "ArrayRef",
@@ -69,17 +70,11 @@ __all__ = [
 SHM_NAME_PREFIX = "repro-dp-"
 
 
-def array_digest(values: np.ndarray) -> str:
-    """BLAKE2 content digest of an array's buffer (the store's digest scheme).
-
-    This is the same digest :func:`array_fingerprint` embeds and that
-    :mod:`repro.exec.store` uses for content addressing, so a data-plane
-    blob and an evaluation-store record of the same bytes share one name.
-    """
-    values = np.asarray(values)
-    if not values.flags.c_contiguous:
-        values = np.ascontiguousarray(values)
-    return hashlib.blake2b(values.data, digest_size=16).hexdigest()
+# ``array_digest`` now lives in :mod:`repro.store.digest` (one digest per
+# byte content across the cache, the data plane and every blob store) and
+# is memoized per array object — registering a dataset, fingerprinting it
+# for the suite spec and addressing its blob hash the buffer once.  It is
+# re-exported here because this was its historical home.
 
 
 def array_fingerprint(values: np.ndarray) -> tuple:

@@ -40,8 +40,9 @@ The ``blob_*`` frames are the remote half of the zero-copy data plane
 (:mod:`repro.exec.dataplane`): base arrays travel once as content-addressed
 blobs (same BLAKE2 digests the evaluation store uses), tasks carry tiny
 ``ArrayRef`` slices, and a worker that answers ``blob_has`` affirmatively —
-from memory or from its local :class:`~repro.exec.store.DiskStore` spill
-(``--blob-dir``) — never receives the bytes again.
+from memory or from its spill backend (``--blob-dir`` for a local
+directory, ``--store-url`` for a shared object store) — never receives
+the bytes again.
 
 Tasks whose function/payload cannot be pickled (e.g. closures) cannot
 cross the wire; they fall back to inline execution in the calling process
@@ -249,9 +250,17 @@ class WorkerServer:
         Optional shared secret for the HMAC handshake.
     blob_dir:
         Directory where received data-plane blobs are spilled (a
-        :class:`~repro.exec.store.DiskStore`).  A restarted server answers
-        ``blob_has`` from the spill, so clients never re-send bytes this
-        host has ever seen.  ``None`` keeps blobs in memory only.
+        :class:`~repro.store.LocalFSBackend` — the historical
+        ``DiskStore`` layout, so existing spill directories keep hitting).
+        A restarted server answers ``blob_has`` from the spill, so
+        clients never re-send bytes this host has ever seen.  ``None``
+        keeps blobs in memory only (unless ``blob_store`` is given).
+    blob_store:
+        The spill target itself (overrides ``blob_dir``): any
+        :class:`~repro.store.StoreBackend` or store location — e.g. an
+        ``http://`` object-store URL shared with the evaluation store,
+        in which case a worker restarted on a *different host* still
+        answers ``blob_has`` without a re-download.
     blob_cache_bytes:
         In-memory bound for received blobs when a ``blob_dir`` spill
         exists: least-recently-used spilled blobs are evicted past the
@@ -269,18 +278,16 @@ class WorkerServer:
         start_method: str | None = None,
         authkey: bytes | None = None,
         blob_dir: str | None = None,
+        blob_store=None,
         blob_cache_bytes: int = 4 << 30,
     ):
+        from ..store import open_store
+
         self._engine = ProcessExecutor(n_jobs=1, start_method=start_method)
         self.n_jobs = resolve_n_jobs(n_jobs)
         self._slots = threading.BoundedSemaphore(self.n_jobs)
         self.authkey = authkey
-        if blob_dir is not None:
-            from .store import DiskStore
-
-            self._vault = DiskStore(blob_dir)
-        else:
-            self._vault = None
+        self._vault = open_store(blob_store if blob_store is not None else blob_dir)
         self.blob_cache_bytes = int(blob_cache_bytes)
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
@@ -796,6 +803,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="spill received data-plane blobs here so restarts skip re-sends",
     )
+    parser.add_argument(
+        "--store-url",
+        default=None,
+        metavar="URL",
+        help="spill blobs into a shared object store (python -m "
+        "repro.store.server) instead of a local directory, so even a "
+        "replacement worker on another host skips re-downloads",
+    )
     args = parser.parse_args(argv)
     authkey = args.authkey or os.environ.get("REPRO_REMOTE_AUTHKEY")
     server = WorkerServer(
@@ -804,6 +819,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         n_jobs=args.jobs,
         authkey=authkey.encode("utf-8") if authkey else None,
         blob_dir=args.blob_dir,
+        blob_store=args.store_url,
     )
     host, port = server.address
     print(f"[worker] serving on {host}:{port} (pid {os.getpid()})", flush=True)

@@ -32,13 +32,14 @@ blobs would hang off ``payload["npz"]`` by relative path if ever needed).
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Hashable
+from typing import Any
+
+from ..store.digest import key_digest
 
 try:  # POSIX advisory locks; Windows falls back to the mkdir spin-lock.
     import fcntl
@@ -50,6 +51,8 @@ __all__ = [
     "FileLock",
     "key_digest",
     "atomic_write_text",
+    "encode_record",
+    "decode_record",
     "SCHEMA_VERSION",
 ]
 
@@ -59,6 +62,20 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 
+def _stage_temp(path: Path, suffix: str) -> tuple[int, str]:
+    """Open a staging temp file for an atomic write-then-rename at ``path``.
+
+    The temp file is created in the *destination directory*, never the
+    system tmpdir: ``os.replace`` is only atomic within one filesystem,
+    and staging in ``$TMPDIR`` (frequently a different mount — tmpfs, a
+    container scratch volume) would make the final rename fail with
+    ``EXDEV`` — or worse, tempt a non-atomic copy fallback that exposes
+    torn records to concurrent readers.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=suffix)
+
+
 def atomic_write_text(path: Path, text: str) -> None:
     """Publish ``text`` at ``path`` via write-then-rename.
 
@@ -66,8 +83,7 @@ def atomic_write_text(path: Path, text: str) -> None:
     content, never a torn record; shared by the evaluation store and the
     benchmark run manifests.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
+    fd, temp_name = _stage_temp(path, path.suffix)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -168,18 +184,6 @@ class FileLock:
         return f"FileLock(path={str(self.path)!r}, held={held})"
 
 
-def key_digest(key: Hashable) -> str:
-    """Stable content address of one cache key.
-
-    Keys are nested tuples of primitives (strings, numbers, ``None``,
-    bytes) whose ``repr`` is deterministic across processes and runs, so a
-    digest of the ``repr`` is a valid cross-run address.  (This is exactly
-    why callable fingerprints must not include ``id(...)`` — see
-    ``repro.exec.cache._value_fingerprint``.)
-    """
-    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=20).hexdigest()
-
-
 def _encode_value(value: Any) -> tuple[str, Any] | None:
     """Encode one cached value as a ``(kind, payload)`` JSON pair.
 
@@ -216,6 +220,42 @@ def _decode_value(kind: str, payload: Any) -> Any:
     if kind == "json":
         return payload
     raise ValueError(f"unknown record kind {kind!r}")
+
+
+def encode_record(digest: str, value: Any, schema_version: int = SCHEMA_VERSION) -> str | None:
+    """Serialize one cached value as the canonical record text.
+
+    Shared by every record backend (the local disk store and the HTTP
+    object store write byte-identical documents, so a store migrated
+    between them keeps hitting).  Returns ``None`` for values no backend
+    can represent; those stay in the memory tier only.
+    """
+    encoded = _encode_value(value)
+    if encoded is None:
+        return None
+    kind, payload = encoded
+    record = {"schema": schema_version, "key": digest, "kind": kind, "payload": payload}
+    try:
+        return json.dumps(record)
+    except (TypeError, ValueError):
+        # A representable container holding an unrepresentable leaf
+        # (e.g. a FitScoreResult whose tag is an arbitrary object).
+        return None
+
+
+def decode_record(text: str, schema_version: int = SCHEMA_VERSION) -> Any:
+    """Inverse of :func:`encode_record`.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on corrupt or
+    schema-incompatible records — callers evict the record and report a
+    miss.
+    """
+    record = json.loads(text)
+    if not isinstance(record, dict):
+        raise ValueError("record is not an object")
+    if record.get("schema") != schema_version:
+        raise ValueError(f"schema {record.get('schema')!r}")
+    return _decode_value(record["kind"], record["payload"])
 
 
 class DiskStore:
@@ -257,34 +297,25 @@ class DiskStore:
         except OSError:
             return None
         try:
-            record = json.loads(text)
-            if not isinstance(record, dict):
-                raise ValueError("record is not an object")
-            if record.get("schema") != self.schema_version:
-                raise ValueError(f"schema {record.get('schema')!r}")
-            return _decode_value(record["kind"], record["payload"])
+            return decode_record(text, self.schema_version)
         except (ValueError, KeyError, TypeError):
             self._evict(path)
             return None
 
     def put(self, digest: str, value: Any) -> bool:
         """Persist one value; returns False when it cannot be represented."""
-        encoded = _encode_value(value)
-        if encoded is None:
-            return False
-        kind, payload = encoded
-        record = {"schema": self.schema_version, "key": digest, "kind": kind, "payload": payload}
-        try:
-            text = json.dumps(record)
-        except (TypeError, ValueError):
-            # A representable container holding an unrepresentable leaf
-            # (e.g. a FitScoreResult whose tag is an arbitrary object).
+        text = encode_record(digest, value, self.schema_version)
+        if text is None:
             return False
         try:
             atomic_write_text(self.path_for(digest), text)
         except OSError:
             return False
         return True
+
+    def evict(self, digest: str) -> None:
+        """Delete one record (a missing record is not an error)."""
+        self._evict(self.path_for(digest))
 
     def _evict(self, path: Path) -> None:
         try:
@@ -307,10 +338,10 @@ class DiskStore:
 
         path = self.blob_path(digest)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".npy"
-            )
+            # Staged next to the destination (see _stage_temp): a blob can
+            # be hundreds of megabytes, and publishing it across mount
+            # boundaries from the system tmpdir would fail with EXDEV.
+            fd, temp_name = _stage_temp(path, ".npy")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     np.save(handle, np.asarray(array), allow_pickle=False)

@@ -1,0 +1,88 @@
+"""Pluggable storage backends behind every persistence path.
+
+One interface — :class:`StoreBackend` — behind the evaluation cache's
+persistent tier, the data plane's blob spill/sync and the shared run
+manifests, with two implementations:
+
+- :class:`LocalFSBackend` — today's on-disk layout (a
+  :class:`~repro.exec.store.DiskStore` directory plus ``flock``-guarded
+  documents), byte-for-byte compatible with stores written before this
+  package existed.
+- :class:`ObjectStoreBackend` — an S3-style HTTP client for the bundled
+  ``python -m repro.store.server``, so shards with **no shared
+  filesystem** (cloud workers, separate hosts) still share one store.
+  Documents get lock-free compare-and-swap via ETag-conditional PUT.
+
+:func:`open_store` maps user-facing configuration (a URL or a directory
+path) to the right backend; :mod:`repro.store.digest` is the single home
+of the BLAKE2 content digests every consumer shares.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import StoreBackend, StoreError
+from .digest import (
+    array_digest,
+    clear_digest_memo,
+    digest_memo_stats,
+    key_digest,
+    text_digest,
+)
+from .localfs import LocalFSBackend
+from .objectstore import ObjectStoreBackend
+
+__all__ = [
+    "StoreBackend",
+    "StoreError",
+    "LocalFSBackend",
+    "ObjectStoreBackend",
+    "open_store",
+    "as_record_backend",
+    "array_digest",
+    "key_digest",
+    "text_digest",
+    "clear_digest_memo",
+    "digest_memo_stats",
+]
+
+
+def open_store(target: "str | os.PathLike | StoreBackend | None") -> StoreBackend | None:
+    """Resolve user-facing storage configuration to a backend.
+
+    ``http(s)://`` URLs open an :class:`ObjectStoreBackend`; anything
+    else is a filesystem path for a :class:`LocalFSBackend`; a ready
+    backend instance passes through; ``None`` stays ``None``.
+    """
+    if target is None or isinstance(target, StoreBackend):
+        return target
+    text = os.fspath(target)
+    if text.startswith(("http://", "https://")):
+        return ObjectStoreBackend(text)
+    return LocalFSBackend(text)
+
+
+def as_record_backend(store) -> StoreBackend:
+    """Adapt legacy store objects (a raw ``DiskStore``) to the interface.
+
+    The evaluation cache historically accepted a
+    :class:`~repro.exec.store.DiskStore`; wrapping keeps that calling
+    convention alive while every internal consumer talks to one seam.
+    """
+    if isinstance(store, StoreBackend):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        resolved = open_store(store)
+        assert resolved is not None
+        return resolved
+    from ..exec.store import DiskStore
+
+    if isinstance(store, DiskStore):
+        wrapped = LocalFSBackend(store.cache_dir, schema_version=store.schema_version)
+        wrapped.disk = store
+        return wrapped
+    raise TypeError(
+        f"cannot adapt {type(store).__name__} to a StoreBackend (expected a "
+        "backend instance, a DiskStore, a directory path or a store URL)"
+    )

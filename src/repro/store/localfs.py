@@ -1,0 +1,123 @@
+"""Local-filesystem backend: today's on-disk layout behind the new seam.
+
+:class:`LocalFSBackend` is a thin adapter over
+:class:`repro.exec.store.DiskStore` — same directory layout, same record
+bytes, same atomic write-then-rename — so pointing it at an existing
+``cache_dir`` or ``blob_dir`` reuses every record and blob already there
+(zero migration; a warm store stays warm).
+
+Documents are addressed by *filesystem path* (the historical contract of
+run manifests: ``--manifest runs/tiny.json`` is a path, absolute or
+CWD-relative).  :meth:`update_doc` supplies the lease the shared-manifest
+protocol needs via a :class:`~repro.exec.store.FileLock` on a ``.lock``
+sidecar next to the document — ``flock`` conflicts between processes and
+threads alike and is released by the kernel when a holder dies, so a
+crashed worker never wedges the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from .base import StoreBackend
+
+__all__ = ["LocalFSBackend"]
+
+
+class LocalFSBackend(StoreBackend):
+    """Records and blobs under one directory, documents by path.
+
+    Parameters
+    ----------
+    root:
+        Directory of the record/blob store (a ``DiskStore`` layout),
+        created on first write.  ``None`` builds a documents-only backend
+        (e.g. for a runner that manages manifests but has no evaluation
+        store) — record and blob operations then report misses and refuse
+        writes.
+    schema_version:
+        Forwarded to the underlying :class:`~repro.exec.store.DiskStore`;
+        overridable for tests.
+    lock_timeout:
+        Seconds :meth:`update_doc` waits for a document's lock before
+        failing loudly.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        schema_version: int | None = None,
+        lock_timeout: float = 60.0,
+    ):
+        from ..exec.store import SCHEMA_VERSION, DiskStore
+
+        self.root = None if root is None else Path(root)
+        self.schema_version = SCHEMA_VERSION if schema_version is None else int(schema_version)
+        self.lock_timeout = float(lock_timeout)
+        self.disk = None if self.root is None else DiskStore(self.root, self.schema_version)
+
+    # -- records ---------------------------------------------------------------
+    def get(self, digest: str) -> Any | None:
+        return None if self.disk is None else self.disk.get(digest)
+
+    def put(self, digest: str, value: Any) -> bool:
+        return False if self.disk is None else self.disk.put(digest, value)
+
+    def evict(self, digest: str) -> None:
+        if self.disk is not None:
+            self.disk.evict(digest)
+
+    # -- blobs -----------------------------------------------------------------
+    def put_blob(self, digest: str, array) -> bool:
+        return False if self.disk is None else self.disk.put_blob(digest, array)
+
+    def get_blob(self, digest: str):
+        return None if self.disk is None else self.disk.get_blob(digest)
+
+    def has_blob(self, digest: str) -> bool:
+        return False if self.disk is None else self.disk.has_blob(digest)
+
+    # -- documents -------------------------------------------------------------
+    def _doc_path(self, name: str) -> Path:
+        # Documents keep their historical path semantics on purpose:
+        # manifests written before this backend existed stay readable at
+        # the very names their runs recorded.
+        return Path(name)
+
+    def read_doc(self, name: str) -> str | None:
+        try:
+            return self._doc_path(name).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+
+    def write_doc(self, name: str, text: str) -> None:
+        from ..exec.store import atomic_write_text
+
+        atomic_write_text(self._doc_path(name), text)
+
+    def update_doc(self, name: str, fn: Callable[[str | None], str]) -> str:
+        from ..exec.store import FileLock, atomic_write_text
+
+        path = self._doc_path(name)
+        lock = FileLock(path.with_name(path.name + ".lock"), timeout=self.lock_timeout)
+        with lock:
+            try:
+                current = path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                current = None
+            text = fn(current)
+            atomic_write_text(path, text)
+        return text
+
+    # -- lifecycle -------------------------------------------------------------
+    def __len__(self) -> int:
+        return 0 if self.disk is None else len(self.disk)
+
+    def describe(self) -> str:
+        return "local documents" if self.root is None else str(self.root)
+
+    def __repr__(self) -> str:
+        root = None if self.root is None else str(self.root)
+        return f"LocalFSBackend(root={root!r})"

@@ -1,7 +1,9 @@
 """Tests for the persistent evaluation store and the two-tier cache."""
 
+import errno
 import json
 import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -15,7 +17,9 @@ from repro.exec import (
     key_digest,
 )
 from repro.exec.cache import _array_fingerprint, _value_fingerprint
+from repro.exec.store import atomic_write_text
 from repro.forecasters.naive import DriftForecaster, ZeroModelForecaster
+from repro.store.digest import array_digest, clear_digest_memo, digest_memo_stats
 
 
 class TestDiskStore:
@@ -109,6 +113,129 @@ class TestDiskStore:
         for index in range(5):
             loaded = store.get(key_digest(("contended", index)))
             assert loaded is not None and loaded.score == float(index)
+
+
+class TestAtomicWriteStaging:
+    """Satellite regression: every atomic write must stage its temp file in
+    the destination directory, never the system tmpdir, or the final
+    ``os.replace`` breaks with EXDEV whenever ``$TMPDIR`` is a different
+    mount (tmpfs, container scratch volumes)."""
+
+    @pytest.fixture()
+    def exdev_guard(self, monkeypatch):
+        """Make ``os.replace`` behave like a filesystem-per-directory world:
+        any cross-directory rename fails with EXDEV."""
+        real_replace = os.replace
+
+        def strict_replace(src, dst, **kwargs):
+            if os.path.dirname(os.path.abspath(src)) != os.path.dirname(
+                os.path.abspath(dst)
+            ):
+                raise OSError(errno.EXDEV, "Invalid cross-device link", src)
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os, "replace", strict_replace)
+
+    def test_record_put_survives_exdev_world(self, tmp_path, exdev_guard):
+        store = DiskStore(tmp_path)
+        digest = key_digest(("exdev", "record"))
+        assert store.put(digest, FitScoreResult(tag=0, score=1.0, seconds=0.1, n_train=10))
+        assert store.get(digest).score == 1.0
+
+    def test_blob_put_survives_exdev_world(self, tmp_path, exdev_guard):
+        store = DiskStore(tmp_path)
+        array = np.arange(256.0)
+        assert store.put_blob("ab" * 8, array)
+        assert np.array_equal(store.get_blob("ab" * 8), array)
+
+    def test_manifest_write_survives_exdev_world(self, tmp_path, exdev_guard):
+        path = tmp_path / "deep" / "nested" / "manifest.json"
+        atomic_write_text(path, '{"cells": []}')
+        assert path.read_text(encoding="utf-8") == '{"cells": []}'
+
+    def test_temp_files_are_staged_next_to_the_destination(self, tmp_path, monkeypatch):
+        import tempfile as tempfile_module
+
+        staged_dirs = []
+        real_mkstemp = tempfile_module.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            staged_dirs.append(kwargs.get("dir"))
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(tempfile_module, "mkstemp", spying_mkstemp)
+        store = DiskStore(tmp_path)
+        digest = key_digest(("spy", 1))
+        store.put(digest, FitScoreResult(tag=0, score=1.0, seconds=0.1, n_train=10))
+        store.put_blob("cd" * 8, np.arange(16.0))
+        assert staged_dirs == [
+            store.path_for(digest).parent,
+            store.blob_path("cd" * 8).parent,
+        ]
+
+    def test_no_temp_litter_after_writes(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(key_digest(("clean", 1)), FitScoreResult(0, 1.0, 0.1, 10))
+        store.put_blob("ef" * 8, np.arange(32.0))
+        leftovers = [p for p in tmp_path.rglob(".tmp-*")]
+        assert leftovers == []
+
+
+class TestDigestMemo:
+    """Satellite: one hash per array buffer across cache keys, dataplane
+    refs and blob addresses."""
+
+    def test_repeat_digest_of_one_array_hits_the_memo(self):
+        clear_digest_memo()
+        array = np.arange(4096.0)  # past the memo's minimum size
+        first = array_digest(array)
+        second = array_digest(array)
+        assert first == second
+        stats = digest_memo_stats()
+        assert stats["hits"] >= 1 and stats["entries"] >= 1
+
+    def test_equal_content_same_digest_across_objects(self):
+        array = np.arange(4096.0)
+        clone = array.copy()
+        assert array is not clone
+        assert array_digest(array) == array_digest(clone)
+
+    def test_tiny_arrays_bypass_the_memo(self):
+        clear_digest_memo()
+        tiny = np.arange(8.0)
+        array_digest(tiny)
+        array_digest(tiny)
+        assert digest_memo_stats()["entries"] == 0
+
+    def test_memo_entry_evicted_when_array_collected(self):
+        import gc
+
+        clear_digest_memo()
+        array = np.arange(4096.0)
+        array_digest(array)
+        assert digest_memo_stats()["entries"] == 1
+        del array
+        gc.collect()
+        assert digest_memo_stats()["entries"] == 0
+
+    def test_in_place_edge_mutation_invalidates_the_memo(self):
+        """The tripwire: mutating a hashed array must not serve a stale
+        digest (edge bytes are re-sampled on every hit)."""
+        array = np.arange(4096.0)
+        before = array_digest(array)
+        array[0] = -1.0
+        after = array_digest(array)
+        assert after != before
+        array[-1] = -2.0
+        assert array_digest(array) != after
+
+    def test_fingerprint_and_dataplane_share_the_digest(self):
+        """The same buffer must produce one address everywhere."""
+        from repro.exec.dataplane import array_digest as plane_digest
+
+        array = np.arange(5000.0)
+        assert plane_digest(array) == array_digest(array)
+        assert _array_fingerprint(array)[3] == array_digest(array)
 
 
 class TestTwoTierCache:
