@@ -190,6 +190,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", default=None, help="write a JSON run summary here")
     parser.add_argument("--quiet", action="store_true", help="suppress per-cell logs")
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="development/chaos-testing only: activate the deterministic "
+        "fault-injection plan in this JSON file (see repro.faults) for the "
+        "whole invocation",
+    )
     return parser
 
 
@@ -232,6 +240,21 @@ def _failure_summary(results) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.fault_plan is not None:
+        from .. import faults
+
+        try:
+            plan = faults.FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load fault plan {args.fault_plan!r}: {exc}", file=sys.stderr)
+            return 2
+        faults.install_plan(plan)
+        print(
+            f"[benchmark] CHAOS: fault plan {plan.name or args.fault_plan} active "
+            f"({len(plan.rules)} rules, seed {plan.seed})",
+            file=sys.stderr,
+        )
 
     shard = None
     if args.shard is not None:

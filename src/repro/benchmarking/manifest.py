@@ -61,6 +61,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
+from .. import faults
 from ..exec.cache import _array_fingerprint
 from ..store import LocalFSBackend, StoreBackend
 from .results import ToolkitRun
@@ -566,6 +567,11 @@ class SharedManifest(RunManifest):
 
         self._update_doc_if_changed(self.claims_doc, transact)
         self._granted |= granted
+        # Chaos seam: dying *here* is the nastiest spot in the claim
+        # protocol — the grants are durable in the sidecar but this worker
+        # never learns about them, so nothing releases them and only
+        # ``reclaim_stale`` can hand the cells to a peer.
+        faults.check("manifest.claim", detail=self.worker)
         return granted
 
     def heartbeat(self) -> None:

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from .. import faults
 from .._validation import as_2d_array, check_fraction, check_horizon
 from ..core.base import BaseForecaster
 from ..exec.executor import BaseExecutor, SerialExecutor, get_executor, resolve_n_jobs
@@ -322,6 +323,10 @@ class BenchmarkRunner:
                     # --reclaim-stale peers can tell a slow worker from a
                     # dead one.
                     manifest.heartbeat()
+                # Chaos seam: a worker dying right after a checkpoint has
+                # durable results but unreleased claims — the resume /
+                # reclaim paths must carry the run from here.
+                faults.check("runner.checkpoint", detail=self.worker_id or "")
         finally:
             # Claims for cells that ended without a manifest record — a
             # transient executor failure (deliberately kept out of the

@@ -124,6 +124,11 @@ class TaskOutcome:
     seconds: float = 0.0
     timed_out: bool = False
     timeout_downgraded: bool = False
+    #: Addresses of remote workers that died while this task was in
+    #: flight on them, in order — non-empty exactly when the task was
+    #: resubmitted under the remote backend's at-least-once policy.
+    #: Client-side provenance only; it never crosses the wire.
+    retried_on: tuple = ()
 
     @property
     def ok(self) -> bool:

@@ -60,6 +60,7 @@ it does not encrypt traffic.
 from __future__ import annotations
 
 import hmac
+import logging
 import os
 import pickle
 import socket
@@ -72,6 +73,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import faults
+from ..resilience import RetryPolicy
+from ..store.digest import array_digest
 from .dataplane import (
     DataPlane,
     blob_is_known,
@@ -98,6 +102,8 @@ __all__ = [
     "WireStats",
     "parse_worker_address",
 ]
+
+logger = logging.getLogger(__name__)
 
 _FRAME_HEADER = struct.Struct(">I")
 
@@ -319,6 +325,11 @@ class WorkerServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
+            peer = "%s:%s" % conn.getpeername()[:2]
+        except OSError:
+            peer = "<unknown>"
+        label = "%s:%d" % self.address
+        try:
             with conn:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 if not _server_authenticate(conn, self.authkey):
@@ -331,12 +342,31 @@ class WorkerServer:
                     if message[0] != "task":
                         break  # ("bye",) or anything unknown ends the session
                     _, index, fn, task, timeout, deadline_remaining = message
+                    rule = faults.fire("remote.server.task", detail=label)
+                    if rule is not None and rule.action == "crash":
+                        # The whole worker dies mid-task: listener and
+                        # connection vanish, every lane to this host is
+                        # orphaned.  (``stall`` slept inside fire().)
+                        logger.warning(
+                            "worker %s: injected crash while serving %s", label, peer
+                        )
+                        self.close()
+                        return
+                    if rule is not None and rule.action == "drop":
+                        # Only this connection dies; the worker survives
+                        # and the client's lane can reconnect to it.
+                        logger.warning(
+                            "worker %s: injected connection drop for %s", label, peer
+                        )
+                        return
                     outcome = self._run_task(fn, task, timeout, deadline_remaining)
                     try:
-                        _send_frame(conn, _encode_outcome(index, outcome))
+                        reply = pickle.dumps(
+                            _encode_outcome(index, outcome),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
                     except (TypeError, pickle.PicklingError, AttributeError):
-                        _send_frame(
-                            conn,
+                        reply = pickle.dumps(
                             (
                                 "outcome",
                                 index,
@@ -346,9 +376,24 @@ class WorkerServer:
                                 False,
                                 False,
                             ),
+                            protocol=pickle.HIGHEST_PROTOCOL,
                         )
-        except (ConnectionError, EOFError, OSError, pickle.UnpicklingError):
-            return  # client went away or spoke garbage; drop the session
+                    if rule is not None and rule.action == "corrupt":
+                        reply = faults.garble(reply)
+                    conn.sendall(_FRAME_HEADER.pack(len(reply)) + reply)
+        except (ConnectionError, EOFError, OSError, pickle.UnpicklingError) as exc:
+            # The client went away or spoke garbage mid-session.  Routine
+            # for a fleet (clients crash, networks flap) so the session
+            # just ends — but silently swallowing the reason made real
+            # protocol bugs invisible, hence the structured warning.
+            logger.warning(
+                "worker %s: dropping session with %s after %s: %s",
+                label,
+                peer,
+                type(exc).__name__,
+                exc,
+            )
+            return
 
     def _handle_blob(self, message: tuple) -> tuple:
         """Answer one ``blob_has``/``blob_put`` frame with a ``blob_state``."""
@@ -363,6 +408,17 @@ class WorkerServer:
                     known = True
             return ("blob_state", digest, bool(known))
         _, digest, shape, dtype, payload = message
+        try:
+            received = np.frombuffer(payload, dtype=np.dtype(dtype)).reshape(shape)
+        except (ValueError, TypeError):
+            received = None
+        if received is None or array_digest(received) != digest:
+            # Blobs are content-addressed: bytes that do not hash back to
+            # their own name were corrupted in flight.  Refusing them
+            # (known=False) makes the client's lane fail loudly and
+            # re-send on reconnect instead of poisoning every later task.
+            logger.warning("refusing blob %s: payload fails its digest check", digest)
+            return ("blob_state", digest, False)
         publish_blob(digest, shape, dtype, payload)
         if self._vault is not None:
             self._vault.put_blob(
@@ -465,6 +521,9 @@ class _WorkerLane:
                 raise ProtocolError(f"unexpected reply {reply[0]!r} to blob_has")
             if not reply[2]:
                 payload = np.ascontiguousarray(base).tobytes()
+                rule = faults.fire("remote.lane.blob_put", detail=digest)
+                if rule is not None and rule.action == "corrupt":
+                    payload = faults.garble(payload)
                 frame = pickle.dumps(
                     ("blob_put", digest, tuple(base.shape), base.dtype.str, payload),
                     protocol=pickle.HIGHEST_PROTOCOL,
@@ -492,6 +551,11 @@ class _WorkerLane:
             except OSError:
                 pass
             self.sock = None
+        # Forget what the *previous* server process knew: a worker
+        # restarted in place lost its in-memory blobs, so the next
+        # connect must re-probe ``blob_has`` per digest (cheap when the
+        # worker spilled them; a re-send when it truly lost them).
+        self._synced_blobs.clear()
 
     def run_task(
         self,
@@ -567,6 +631,18 @@ class RemoteExecutor(BaseExecutor):
     reply_grace:
         Extra seconds past the enforced per-task budget to wait for the
         worker's reply before declaring the worker host dead.
+    retry_policy:
+        Backoff schedule for lane reconnects: a lane that loses its
+        worker retries the connect up to ``retry_policy.attempts`` times
+        (full-jitter exponential sleeps in between) before retiring, so a
+        rebooted worker rejoins the fan-out instead of being written off
+        at the first refused connect.
+    max_task_retries:
+        At-least-once resubmission cap: an in-flight task whose lane died
+        is requeued to the surviving lanes up to this many times (the
+        task functions are pure fits/scores, so re-running is safe).
+        ``0`` restores fail-fast semantics.  Every resubmission is
+        recorded in ``TaskOutcome.retried_on``.
     """
 
     name = "remote"
@@ -577,6 +653,8 @@ class RemoteExecutor(BaseExecutor):
         authkey: bytes | None = None,
         connect_timeout: float = 10.0,
         reply_grace: float = 15.0,
+        retry_policy: RetryPolicy | None = None,
+        max_task_retries: int = 2,
     ):
         if not workers:
             from ..exceptions import InvalidParameterError
@@ -586,6 +664,10 @@ class RemoteExecutor(BaseExecutor):
         self.authkey = authkey
         self.connect_timeout = float(connect_timeout)
         self.reply_grace = float(reply_grace)
+        self.retry_policy = retry_policy or RetryPolicy(
+            attempts=4, base_backoff=0.1, max_backoff=2.0
+        )
+        self.max_task_retries = int(max_task_retries)
         # Data-plane state: registered base arrays (pushed to workers as
         # content-addressed blobs at lane connect) and wire accounting.
         self._blob_roster: dict[str, tuple[Any, int]] = {}
@@ -667,13 +749,35 @@ class RemoteExecutor(BaseExecutor):
         outcomes: list[TaskOutcome | None] = [None] * len(tasks)
         queue: deque[tuple[int, Any]] = deque(enumerate(tasks))
         queue_lock = threading.Lock()
+        # At-least-once provenance: per task index, the dead worker
+        # addresses it was in flight on before being resubmitted.
+        attempts: dict[int, list[str]] = {}
 
         def drain(lane: _WorkerLane) -> None:
-            # A lane that loses its worker stops pulling; surviving lanes
-            # absorb the remaining queue.  Only a task that was *in flight*
-            # pays for the death (an error outcome, like a dead process-pool
-            # worker); a task its lane never managed to ship is requeued.
+            # A lane that loses its worker retries the connect under the
+            # executor's retry policy (a rebooted worker rejoins); only
+            # once the budget is spent does the lane retire and leave the
+            # remaining queue to the survivors.  An *in-flight* task on a
+            # dead lane is resubmitted up to ``max_task_retries`` times
+            # before it becomes a dead-worker outcome.
+            host, port = lane.address
+            connect_failures = 0
             while True:
+                if lane.sock is None:
+                    # (Re)connect before taking a task, so a down worker
+                    # never holds work hostage during its own backoff.
+                    with queue_lock:
+                        if not queue:
+                            break
+                    try:
+                        lane.connect()
+                    except (ConnectionError, OSError):
+                        lane.close()
+                        connect_failures += 1
+                        if connect_failures > self.retry_policy.retries:
+                            return
+                        self.retry_policy.sleep(connect_failures - 1)
+                        continue
                 with queue_lock:
                     if not queue:
                         break
@@ -684,16 +788,38 @@ class RemoteExecutor(BaseExecutor):
                 try:
                     outcome = lane.run_task(fn, index, task, timeout, deadline)
                     outcome.index = index
+                    with queue_lock:
+                        outcome.retried_on = tuple(attempts.get(index, ()))
                     outcomes[index] = outcome
+                    connect_failures = 0
                 except LaneConnectError:
+                    # The task never reached a worker: requeue it intact
+                    # and charge the failure to the lane, not the task.
                     lane.close()
                     with queue_lock:
                         queue.appendleft((index, task))
-                    return
+                    connect_failures += 1
+                    if connect_failures > self.retry_policy.retries:
+                        return
+                    self.retry_policy.sleep(connect_failures - 1)
                 except (ConnectionError, OSError, EOFError, pickle.UnpicklingError) as exc:
                     lane.close()
-                    outcomes[index] = self._dead_worker_outcome(index, lane, repr(exc))
-                    return
+                    with queue_lock:
+                        tried = attempts.setdefault(index, [])
+                        tried.append(f"{host}:{port}")
+                        if len(tried) <= self.max_task_retries:
+                            # At-least-once: fits/scores are pure, so a
+                            # task that died with its worker is requeued
+                            # for a surviving (or reconnected) lane.
+                            queue.appendleft((index, task))
+                        else:
+                            outcomes[index] = self._dead_worker_outcome(
+                                index, tried, repr(exc)
+                            )
+                    connect_failures += 1
+                    if connect_failures > self.retry_policy.retries:
+                        return
+                    self.retry_policy.sleep(connect_failures - 1)
             lane.close()
 
         lanes = [_WorkerLane(address, self) for address in self.workers]
@@ -715,33 +841,47 @@ class RemoteExecutor(BaseExecutor):
                 outcomes[index] = _deadline_outcome(index, deadline)
                 continue
             outcome = None
+            swept: list[str] = []
             for address in self.workers:
                 lane = _WorkerLane(address, self)
                 try:
                     outcome = lane.run_task(fn, index, task, timeout, deadline)
                     outcome.index = index
+                    outcome.retried_on = tuple(attempts.get(index, ()))
                     break
                 except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+                    swept.append("%s:%d" % address)
                     continue
                 finally:
                     lane.close()
-            outcomes[index] = outcome or self._dead_worker_outcome(
-                index, lanes[-1], "every worker lane died before the task ran"
-            )
+            if outcome is None:
+                outcome = self._dead_worker_outcome(
+                    index,
+                    attempts.get(index, []) + swept,
+                    "every worker lane died before the task ran",
+                )
+            outcomes[index] = outcome
         # Belt: no slot may stay None (a task must always have an outcome).
         for index, outcome in enumerate(outcomes):
             if outcome is None:
                 outcomes[index] = self._dead_worker_outcome(
-                    index, lanes[-1], "every worker lane died before the task ran"
+                    index,
+                    attempts.get(index, []),
+                    "every worker lane died before the task ran",
                 )
         return outcomes
 
     @staticmethod
-    def _dead_worker_outcome(index: int, lane: _WorkerLane, detail: str) -> TaskOutcome:
-        host, port = lane.address
+    def _dead_worker_outcome(index: int, tried: Sequence[str], detail: str) -> TaskOutcome:
+        # The message names every address the task actually touched
+        # (deduplicated, order preserved) instead of blaming an arbitrary
+        # lane; ``retried_on`` keeps the full per-attempt sequence.
+        unique = list(dict.fromkeys(tried))
+        where = ", ".join(unique) if unique else "every configured worker"
         return TaskOutcome(
             index=index,
-            error=f"remote worker {host}:{port} died: {detail}",
+            error=f"remote worker {where} died: {detail}",
+            retried_on=tuple(tried),
         )
 
     def __repr__(self) -> str:

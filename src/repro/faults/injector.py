@@ -1,0 +1,86 @@
+"""The runtime half of fault injection: matching events against a plan.
+
+A :class:`FaultInjector` owns one :class:`~repro.faults.plan.FaultPlan`
+plus the mutable trigger state (per-rule event counters, the seeded RNG)
+and answers the only question a seam ever asks: *"an event just passed
+through site S with detail D — does any rule fire?"*.  Matching is
+first-rule-wins in plan order, and every counter mutation happens under
+one lock, so concurrent seams (server threads, dispatch lanes) observe a
+single consistent firing sequence.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from .plan import FaultPlan, FaultRule
+
+__all__ = ["FaultInjector", "garble"]
+
+
+def garble(payload: bytes) -> bytes:
+    """Deterministically corrupt a byte payload (bit-flip its head).
+
+    Flipping the leading bytes breaks any framed format at its magic
+    number / opcode (pickle protocol byte, ``.npy`` magic), so consumers
+    fail with a parse error or a digest mismatch instead of silently
+    accepting shifted data — exactly how real wire corruption surfaces
+    once checksums are involved.
+    """
+    if not payload:
+        return payload
+    head = bytes(b ^ 0xFF for b in payload[:8])
+    return head + payload[8:]
+
+
+class FaultInjector:
+    """Deterministic event-to-rule matcher for one fault plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._rng = random.Random(plan.seed)
+        self._seen = [0] * len(plan.rules)
+        self._fired = [0] * len(plan.rules)
+
+    def fire(self, site: str, detail: str = "") -> FaultRule | None:
+        """Return the first rule firing for this event, or ``None``.
+
+        Each rule keeps its own count of *matching* events (site and
+        ``match`` filter), opens its window after ``after`` clean
+        passages, and closes it after ``count`` firings.  An exhausted
+        rule stops shadowing later rules on the same site, so plans can
+        express sequences ("stall once, then crash").
+        """
+        with self._lock:
+            for position, rule in enumerate(self.plan.rules):
+                if rule.site != site:
+                    continue
+                if rule.match and rule.match not in detail:
+                    continue
+                self._seen[position] += 1
+                if self._seen[position] <= rule.after:
+                    continue
+                if rule.count is not None and self._fired[position] >= rule.count:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                self._fired[position] += 1
+                return rule
+            return None
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-rule ``{site/action: {seen, fired}}`` — chaos-run telemetry."""
+        with self._lock:
+            return {
+                f"{rule.site}:{rule.action}[{position}]": {
+                    "seen": self._seen[position],
+                    "fired": self._fired[position],
+                }
+                for position, rule in enumerate(self.plan.rules)
+            }
+
+    def __repr__(self) -> str:
+        fired = sum(self._fired)
+        return f"FaultInjector(plan={self.plan!r}, fired={fired})"

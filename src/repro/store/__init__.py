@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 
-from .base import StoreBackend, StoreError
+from .base import CircuitOpenError, StoreBackend, StoreError
 from .digest import (
     array_digest,
     clear_digest_memo,
@@ -31,13 +31,15 @@ from .digest import (
     text_digest,
 )
 from .localfs import LocalFSBackend
-from .objectstore import ObjectStoreBackend
+from .objectstore import ObjectStoreBackend, StoreTransportStats
 
 __all__ = [
     "StoreBackend",
     "StoreError",
+    "CircuitOpenError",
     "LocalFSBackend",
     "ObjectStoreBackend",
+    "StoreTransportStats",
     "open_store",
     "as_record_backend",
     "array_digest",

@@ -37,7 +37,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Callable
 
-__all__ = ["StoreBackend", "StoreError"]
+__all__ = ["StoreBackend", "StoreError", "CircuitOpenError"]
 
 
 class StoreError(OSError):
@@ -47,6 +47,20 @@ class StoreError(OSError):
     disk store already treats ``OSError`` as "the persistence layer is
     having a bad day, degrade gracefully", and a remote backend's failures
     deserve exactly that handling.
+    """
+
+
+class CircuitOpenError(StoreError):
+    """An operation was refused *without being tried*: the circuit is open.
+
+    Raised by backends guarding their transport with a
+    :class:`~repro.resilience.CircuitBreaker` once consecutive failures
+    trip it: instead of paying the full retry × backoff budget against a
+    store known to be down, the call fails in microseconds and degrades
+    exactly like any other :class:`StoreError` (record misses, refused
+    writes).  Consumers that must *not* proceed without the store (e.g. a
+    manifest flush) still see it loudly — it is a ``StoreError``, never a
+    silent ``None``.
     """
 
 

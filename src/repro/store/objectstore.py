@@ -10,10 +10,18 @@ points:
   (benchmark runners and shard workers are thread-fanned), reconnected
   transparently when a keep-alive connection goes stale.
 - **Bounded retry with jitter** — transient transport errors and 5xx
-  responses are retried a fixed number of times with exponentially
-  growing, jittered sleeps; persistent unavailability degrades exactly
-  like a failing disk (record misses, refused writes) instead of taking
-  the run down.
+  responses are retried under a shared :class:`~repro.resilience.
+  RetryPolicy` (bounded attempts, exponential backoff, full jitter);
+  persistent unavailability degrades exactly like a failing disk (record
+  misses, refused writes) instead of taking the run down.
+- **Circuit breaker** — consecutive *exhausted* requests (whole retry
+  budgets spent) trip a :class:`~repro.resilience.CircuitBreaker` open:
+  further requests are refused instantly
+  (:class:`~repro.store.base.CircuitOpenError` → fast local misses)
+  instead of each paying the full retry × backoff budget against a store
+  known to be down; after a cooldown one half-open probe tests recovery.
+  Breaker state and transport counters are visible via
+  :attr:`ObjectStoreBackend.transport_stats`.
 - **Compare-and-swap documents** — :meth:`update_doc` loops GET →
   ``fn`` → conditional PUT (``If-Match`` on the read ETag, or
   ``If-None-Match: *`` for creation) until the PUT lands, which gives the
@@ -35,21 +43,38 @@ from __future__ import annotations
 
 import http.client
 import io
-import random
 import socket
 import threading
-import time
 import urllib.parse
+from dataclasses import dataclass
 from typing import Any, Callable
 
-from .base import StoreBackend, StoreError
+from .. import faults
+from ..resilience import BreakerStats, CircuitBreaker, RetryPolicy
+from .base import CircuitOpenError, StoreBackend, StoreError
 from .digest import array_digest
 
-__all__ = ["ObjectStoreBackend"]
+__all__ = ["ObjectStoreBackend", "StoreTransportStats"]
 
 #: HTTP statuses worth a retry: the server (or a proxy in front of it)
 #: says "temporarily unhappy", not "your request is wrong".
 _RETRYABLE_STATUSES = frozenset({500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class StoreTransportStats:
+    """Request/retry/breaker snapshot of one backend (wire-stats style).
+
+    ``requests`` counts :meth:`ObjectStoreBackend._request` calls that
+    were allowed to run, ``retries`` the extra attempts the policy spent,
+    ``exhausted`` the requests whose whole budget failed, and ``breaker``
+    the circuit's own counters (state, opens, instant refusals).
+    """
+
+    requests: int = 0
+    retries: int = 0
+    exhausted: int = 0
+    breaker: BreakerStats = BreakerStats(state="closed", consecutive_failures=0)
 
 
 class _PooledConnection(http.client.HTTPConnection):
@@ -88,6 +113,13 @@ class ObjectStoreBackend(StoreBackend):
         Bound on :meth:`update_doc` compare-and-swap rounds; exceeding it
         raises :class:`~repro.store.base.StoreError` (it means pathological
         contention, not a transient blip).
+    retry_policy:
+        Overrides the transport retry behaviour wholesale; when omitted
+        one is derived from ``retries``/``retry_backoff`` so existing
+        callers keep their tuning.
+    breaker_failures / breaker_reset_after:
+        Consecutive exhausted requests that trip the circuit open, and
+        the open-state cooldown before a half-open probe.
     """
 
     def __init__(
@@ -98,6 +130,9 @@ class ObjectStoreBackend(StoreBackend):
         retry_backoff: float = 0.05,
         cas_attempts: int = 64,
         schema_version: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_failures: int = 5,
+        breaker_reset_after: float = 10.0,
     ):
         parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("", "http"):
@@ -111,22 +146,53 @@ class ObjectStoreBackend(StoreBackend):
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
         self.cas_attempts = int(cas_attempts)
+        self.retry_policy = retry_policy or RetryPolicy(
+            attempts=self.retries + 1, base_backoff=self.retry_backoff, max_backoff=2.0
+        )
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_reset_after = float(breaker_reset_after)
         if schema_version is None:
             from ..exec.store import SCHEMA_VERSION
 
             schema_version = SCHEMA_VERSION
         self.schema_version = int(schema_version)
-        self._local = threading.local()
+        self._init_runtime()
 
-    # -- pickling (the pool stays home) ---------------------------------------
+    def _init_runtime(self) -> None:
+        """(Re)create the per-process state: pool, breaker, counters."""
+        self._local = threading.local()
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.breaker_failures,
+            reset_after=self.breaker_reset_after,
+        )
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._retry_count = 0
+        self._exhausted = 0
+
+    # -- pickling (pool, breaker and counters stay home) -----------------------
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        del state["_local"]
+        for runtime in ("_local", "_breaker", "_stats_lock", "_requests", "_retry_count", "_exhausted"):
+            state.pop(runtime, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._local = threading.local()
+        # Each process judges the store's health for itself: a breaker
+        # tripped by the parent's network path says nothing about ours.
+        self._init_runtime()
+
+    @property
+    def transport_stats(self) -> StoreTransportStats:
+        """Snapshot of request/retry counters and breaker state."""
+        with self._stats_lock:
+            return StoreTransportStats(
+                requests=self._requests,
+                retries=self._retry_count,
+                exhausted=self._exhausted,
+                breaker=self._breaker.stats(),
+            )
 
     # -- transport -------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -152,19 +218,38 @@ class ObjectStoreBackend(StoreBackend):
         body: bytes | None = None,
         headers: dict | None = None,
     ) -> tuple[int, dict, bytes]:
-        """One request with pooled connections and jittered bounded retry.
+        """One request with pooled connections, bounded retry, breaker.
 
         Conditional PUTs are retried too: they are idempotent by
         construction (the precondition re-evaluates against the stored
         content, so a retry of an already-applied PUT fails the
-        precondition instead of double-applying).
+        precondition instead of double-applying).  Only *exhausted*
+        requests (whole budget spent) and final retryable 5xx responses
+        count against the breaker, so blips the retry layer absorbs never
+        trip it.
         """
+        if not self._breaker.allow():
+            raise CircuitOpenError(
+                f"object store {self.host}:{self.port} circuit open "
+                "(recent requests exhausted their retry budget)"
+            )
+        with self._stats_lock:
+            self._requests += 1
         url = f"{self.base_path}{path}"
+        policy = self.retry_policy
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
+        for attempt in range(policy.attempts):
             if attempt:
-                delay = self.retry_backoff * (2 ** (attempt - 1))
-                time.sleep(delay * (1.0 + random.random()))
+                with self._stats_lock:
+                    self._retry_count += 1
+                policy.sleep(attempt - 1)
+            injected = faults.fire("store.client.request", detail=f"{method} {path}")
+            if injected is not None and injected.action == "error":
+                # Simulated transport failure: consumes retry budget
+                # exactly like a refused connection would.
+                self._drop_connection()
+                last_error = ConnectionError(f"injected transport fault ({method} {path})")
+                continue
             conn = self._connection()
             try:
                 conn.request(method, url, body=body, headers=headers or {})
@@ -181,14 +266,26 @@ class ObjectStoreBackend(StoreBackend):
                 # before it drained our body): the connection is not
                 # reusable, so retire it before the next request trips.
                 self._drop_connection()
-            if response.status in _RETRYABLE_STATUSES and attempt < self.retries:
-                last_error = StoreError(f"{method} {url} -> {response.status}")
-                continue
+            if response.status in _RETRYABLE_STATUSES:
+                if attempt < policy.retries:
+                    last_error = StoreError(f"{method} {url} -> {response.status}")
+                    continue
+                # Budget spent and the server is still answering 5xx:
+                # that is an unhealthy store, not an unlucky request.
+                self._note_exhausted()
+                return response.status, dict(response.getheaders()), payload
+            self._breaker.record_success()
             return response.status, dict(response.getheaders()), payload
+        self._note_exhausted()
         raise StoreError(
             f"object store {self.host}:{self.port} unreachable after "
-            f"{self.retries + 1} attempts: {last_error}"
+            f"{policy.attempts} attempts: {last_error}"
         )
+
+    def _note_exhausted(self) -> None:
+        with self._stats_lock:
+            self._exhausted += 1
+        self._breaker.record_failure()
 
     @staticmethod
     def _etag(headers: dict) -> str | None:
@@ -255,6 +352,9 @@ class ObjectStoreBackend(StoreBackend):
             return None
         if status != 200:
             return None
+        injected = faults.fire("store.client.blob", detail=digest)
+        if injected is not None and injected.action == "corrupt":
+            payload = faults.garble(payload)
         try:
             array = np.load(io.BytesIO(payload), allow_pickle=False)
         except (ValueError, OSError):
@@ -314,7 +414,7 @@ class ObjectStoreBackend(StoreBackend):
             if status != 412:
                 raise StoreError(f"document update refused with status {status}")
             # Lost the race: decorrelate and re-derive from the winner.
-            time.sleep(self.retry_backoff * random.random())
+            self.retry_policy.sleep(0)
         raise StoreError(
             f"document {name!r} still contended after {self.cas_attempts} "
             "compare-and-swap attempts"

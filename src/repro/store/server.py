@@ -47,6 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Sequence
 
+from .. import faults
 from .digest import text_digest
 
 __all__ = ["StoreServer", "main"]
@@ -185,8 +186,23 @@ class _Handler(BaseHTTPRequestHandler):
             return self.state.blob_path(name)
         return self.state.doc_path(name)
 
+    def _injected_unavailable(self) -> bool:
+        """``store.server.request`` seam: answer 503 before doing any work.
+
+        Simulates a proxy/broker brownout in front of the store.  The
+        reply closes the connection (the request body, if any, is still
+        unread on the socket) — exactly how a load balancer sheds load.
+        """
+        rule = faults.fire("store.server.request", detail=f"{self.command} {self.path}")
+        if rule is not None and rule.action == "http_503":
+            self._reply(503, b"injected unavailability", close=True)
+            return True
+        return False
+
     # -- verbs -----------------------------------------------------------------
     def _get(self, head_only: bool) -> None:
+        if self._injected_unavailable():
+            return
         route = self._route()
         if route is None:
             return
@@ -231,6 +247,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._get(head_only=True)
 
     def do_PUT(self) -> None:  # noqa: N802
+        if self._injected_unavailable():
+            return
         route = self._route()
         if route is None:
             return
@@ -283,9 +301,19 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:
                 self._reply(507, b"write failed")
                 return
+        rule = faults.fire("store.server.doc_put", detail=path.name)
+        if rule is not None and rule.action == "drop":
+            # The write is durable but the response never arrives — a
+            # partition hitting exactly the conditional PUT's ack.  The
+            # client's transport retry will fail the precondition (412,
+            # the ETag moved under it) and re-derive from the stored text.
+            self.close_connection = True
+            return
         self._reply(200 if current is not None else 201, b"", etag=text_digest(body))
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self._injected_unavailable():
+            return
         route = self._route()
         if route is None:
             return
