@@ -24,6 +24,7 @@ repository root.
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
 import multiprocessing
 import shutil
@@ -43,6 +44,14 @@ from repro.core.base import BaseForecaster
 _HORIZON = 8
 _LATENCY_SECONDS = 0.2
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+# -- skewed-matrix workload (shared with bench_perf_stealing) ------------------
+# One long-pole dataset under a 10-pipeline wave toolkit plus short series
+# under cheap toolkits: the matrix static round-robin dealing handles worst
+# (the long pole strands its shard) and work stealing exists to fix.
+_WAVE_SECONDS = 0.08
+_WAVE_SAMPLES = 30
+_SKEW_LIGHT_LATENCY = 0.05
 
 
 class LatencyBoundToolkit(BaseForecaster):
@@ -79,9 +88,9 @@ class LatencyBoundToolkit(BaseForecaster):
         )
 
 
-def _make_toolkit(damping: float):
+def _make_toolkit(damping: float, latency: float = _LATENCY_SECONDS):
     def factory(horizon: int) -> LatencyBoundToolkit:
-        return LatencyBoundToolkit(damping=damping, horizon=horizon)
+        return LatencyBoundToolkit(damping=damping, latency=latency, horizon=horizon)
 
     return factory
 
@@ -109,6 +118,148 @@ def _run_shard_worker(manifest_path: str, shard_index: int, n_shards: int) -> No
         horizon=_HORIZON,
         manifest_path=manifest_path,
         worker_id=f"shard-{shard_index + 1}/{n_shards}",
+    )
+    runner.run(datasets, toolkits, cells=coordinator.cells(shard_index))
+
+
+class SplittableWaveToolkit(BaseForecaster):
+    """A heavy toolkit whose training is a sequence of cacheable waves.
+
+    Each wave blocks for ``wave_seconds`` unless a marker for (training
+    bytes, wave index) already exists in ``record_root`` — the stand-in for
+    a shared evaluation store serving a previously computed wave.  A
+    ``part=(k, n)`` instance executes only every n-th wave (one disjoint
+    share of the cell), which is what the work-stealing scheduler's split
+    protocol runs concurrently; the subsequent full execution finds every
+    wave warm.  The forecast is a deterministic function of the training
+    data alone, so cache state never shows in the results.
+    """
+
+    def __init__(
+        self,
+        record_root: str = "",
+        damping: float = 0.7,
+        wave_seconds: float = _WAVE_SECONDS,
+        part: tuple[int, int] | None = None,
+        horizon: int = 1,
+    ):
+        self.record_root = record_root
+        self.damping = damping
+        self.wave_seconds = wave_seconds
+        self.part = part
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "SplittableWaveToolkit":
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        digest = hashlib.blake2b(X.tobytes(), digest_size=8).hexdigest()
+        waves = max(len(X) // _WAVE_SAMPLES, 1)
+        indices = range(waves)
+        if self.part is not None:
+            index, n_parts = self.part
+            indices = [w for w in indices if w % int(n_parts) == int(index)]
+        root = Path(self.record_root)
+        for wave in indices:
+            marker = root / f"{digest}-{wave}.wave"
+            if not marker.exists():
+                time.sleep(float(self.wave_seconds))
+                marker.touch()
+        steps = np.arange(len(X), dtype=float)
+        slopes = [np.polyfit(steps, column, deg=1)[0] for column in X.T]
+        self.level_ = X[-1]
+        self.slope_ = np.asarray(slopes, dtype=float)
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        steps = int(horizon if horizon is not None else self.horizon)
+        offsets = np.arange(1, steps + 1, dtype=float).reshape(-1, 1)
+        return self.level_.reshape(1, -1) + float(self.damping) * offsets * self.slope_.reshape(
+            1, -1
+        )
+
+
+class WavePartFactory:
+    """Factory for one disjoint share of a split wave cell (picklable)."""
+
+    def __init__(self, record_root: str, index: int, n_parts: int):
+        self.record_root = record_root
+        self.index = int(index)
+        self.n_parts = int(n_parts)
+
+    def __call__(self, horizon: int) -> SplittableWaveToolkit:
+        return SplittableWaveToolkit(
+            record_root=self.record_root,
+            part=(self.index, self.n_parts),
+            horizon=horizon,
+        )
+
+
+class WaveToolkitFactory:
+    """Splittable heavy-toolkit factory with a cost-model pipeline hint."""
+
+    #: Cost-model hint: like AutoAI-TS, one cell ranks ~10 inner pipelines.
+    pipeline_count = 10
+
+    def __init__(self, record_root: str):
+        self.record_root = record_root
+
+    def __call__(self, horizon: int) -> SplittableWaveToolkit:
+        return SplittableWaveToolkit(record_root=self.record_root, horizon=horizon)
+
+    def split_parts(self, n_parts: int) -> list[WavePartFactory]:
+        n_parts = max(2, min(int(n_parts), 8))
+        return [
+            WavePartFactory(self.record_root, index, n_parts)
+            for index in range(n_parts)
+        ]
+
+
+def skewed_suite() -> dict[str, np.ndarray]:
+    """One 2400-point long pole plus three 200-point short series."""
+    generator = np.random.default_rng(31)
+    t_long = np.arange(2400.0)
+    t_short = np.arange(200.0)
+    return {
+        "longpole": 50.0 + 0.3 * t_long + 6.0 * np.sin(2 * np.pi * t_long / 48.0)
+        + generator.normal(0, 0.4, 2400),
+        "short_trend": 20.0 + 0.8 * t_short + generator.normal(0, 0.5, 200),
+        "short_seasonal": 60.0 + 9.0 * np.sin(2 * np.pi * t_short / 12.0)
+        + generator.normal(0, 0.5, 200),
+        "short_walk": 100.0 + np.cumsum(generator.normal(0.05, 0.8, 200)),
+    }
+
+
+def skewed_toolkits(record_root: str) -> dict:
+    """One splittable heavy column plus three cheap latency columns."""
+    toolkits = {"WaveAuto": WaveToolkitFactory(record_root)}
+    for damping in (0.0, 0.5, 1.0):
+        factory = _make_toolkit(damping)
+
+        def light(horizon, _factory=factory):
+            toolkit = _factory(horizon)
+            toolkit.latency = _SKEW_LIGHT_LATENCY
+            return toolkit
+
+        toolkits[f"Latency(d={damping:g})"] = light
+    return toolkits
+
+
+def run_static_skewed_worker(
+    manifest_path: str, shard_index: int, n_shards: int, record_root: str
+) -> None:
+    """Static-dealing baseline worker on the skewed matrix.
+
+    The round-robin deal sends every fourth cell to each shard, and with
+    four toolkit columns that lands *all* heavy wave cells on shard 1 —
+    the skew pathology `bench_perf_stealing` measures stealing against.
+    """
+    datasets, toolkits = skewed_suite(), skewed_toolkits(record_root)
+    coordinator = ShardCoordinator(datasets, toolkits, n_shards)
+    runner = BenchmarkRunner(
+        horizon=_HORIZON,
+        manifest_path=manifest_path,
+        worker_id=f"static-{shard_index + 1}/{n_shards}",
     )
     runner.run(datasets, toolkits, cells=coordinator.cells(shard_index))
 

@@ -27,9 +27,10 @@ from .manifest import (
     suite_fingerprint,
     suite_spec,
 )
+from .costmodel import CellCostModel, pipeline_count, split_factories
 from .results import BenchmarkResults, ToolkitRun
 from .runner import BenchmarkRunner
-from .sharding import ShardCoordinator, parse_shard_spec
+from .sharding import CellQueue, ShardCoordinator, entry_key, parse_shard_spec
 from .reporting import (
     render_average_rank_figure,
     render_detail_table,
@@ -46,6 +47,11 @@ __all__ = [
     "SharedManifest",
     "ShardCoordinator",
     "parse_shard_spec",
+    "CellQueue",
+    "entry_key",
+    "CellCostModel",
+    "pipeline_count",
+    "split_factories",
     "ManifestMismatchError",
     "ManifestMismatchWarning",
     "suite_fingerprint",

@@ -18,11 +18,22 @@ manifest into the full summary::
     wait
     python -m repro.benchmarking --manifest runs/m.json --resume
 
-With ``--store-url`` the manifest, claim sidecar and evaluation records
-live in a shared object store (``python -m repro.store.server``) instead
-of the filesystem, so the workers may run on different hosts with no
-shared mount; ``--manifest`` then names the manifest *document* inside
-the store.
+**Work-stealing runs** replace the static deal with an elastic shared
+queue: every ``--steal`` worker pulls cells longest-projected-cost-first
+from a queue document next to the manifest, steals from stalled peers,
+and any number of workers — including ones joining mid-run — drain one
+matrix without pre-partitioning::
+
+    python -m repro.benchmarking --steal --manifest runs/m.json &
+    python -m repro.benchmarking --steal --manifest runs/m.json &   # join any time
+    wait
+    python -m repro.benchmarking --manifest runs/m.json --resume
+
+With ``--store-url`` the manifest, claim sidecar, queue document and
+evaluation records live in a shared object store (``python -m
+repro.store.server``) instead of the filesystem, so the workers may run
+on different hosts with no shared mount; ``--manifest`` then names the
+manifest *document* inside the store.
 
 ``--resume`` merges a previous manifest of the same suite; without it an
 existing manifest is overwritten.  ``--resume-strict`` additionally *fails*
@@ -59,7 +70,7 @@ from .experiment import (
 from .manifest import ManifestMismatchError, SharedManifest
 from .reporting import render_detail_table, render_shard_provenance
 from .runner import BenchmarkRunner
-from .sharding import ShardCoordinator, parse_shard_spec
+from .sharding import CellQueue, ShardCoordinator, parse_shard_spec
 
 __all__ = ["main"]
 
@@ -131,10 +142,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "requires --manifest, which all N workers must share",
     )
     parser.add_argument(
+        "--steal",
+        action="store_true",
+        help="run as one elastic work-stealing worker: pull cells "
+        "longest-projected-cost-first from a shared queue document next to "
+        "--manifest (required), stealing from stalled peers; workers may "
+        "join mid-run; mutually exclusive with --shard",
+    )
+    parser.add_argument(
+        "--split-threshold",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="with --steal, decompose a cell projected above FACTOR x the "
+        "median cell cost into parts multiple workers can run concurrently "
+        "(toolkit must support splitting; 0 disables; default: 2.0)",
+    )
+    parser.add_argument(
         "--worker-id",
         default=None,
         help="identity recorded with this worker's cell claims "
-        "(default: shard-K/N@host:pid)",
+        "(default: shard-K/N@host:pid, or steal@host:pid with --steal)",
     )
     parser.add_argument(
         "--reclaim-stale",
@@ -269,6 +297,21 @@ def main(argv: list[str] | None = None) -> int:
     elif args.worker:
         print("error: --worker requires --shard K/N", file=sys.stderr)
         return 2
+    if args.steal:
+        if shard is not None:
+            print(
+                "error: --steal and --shard are two ways to partition one "
+                "matrix; pick one (stealing workers need no dealt slice)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.manifest is None:
+            print(
+                "error: --steal requires --manifest (the queue document "
+                "lives next to it, shared by all workers)",
+                file=sys.stderr,
+            )
+            return 2
     if (args.resume or args.resume_strict) and args.manifest is None:
         # Silently ignoring the flag would be exactly the quiet full
         # re-pay that --resume-strict exists to prevent.
@@ -328,6 +371,19 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(f"[benchmark] worker {worker_id}: {len(cells)} of "
                   f"{len(coordinator.all_cells)} cells")
+    elif args.steal:
+        worker_id = args.worker_id or (
+            f"steal@{socket.gethostname()}:{os.getpid()}"
+        )
+        if args.reclaim_stale is None:
+            # Elastic membership leans on stale-lease recovery: a worker
+            # that dies mid-cell must not strand the cell forever, so
+            # stealing defaults to a conservative reclaim horizon instead
+            # of "never" (the in-cell heartbeat beacon keeps live slow
+            # cells well inside it).
+            args.reclaim_stale = 300.0
+        if not args.quiet:
+            print(f"[benchmark] worker {worker_id}: stealing from the shared queue")
 
     try:
         executor = _resolve_executor(args)
@@ -345,14 +401,17 @@ def main(argv: list[str] | None = None) -> int:
         worker_id=worker_id,
         reclaim_stale=args.reclaim_stale,
         dataplane=not args.no_dataplane,
+        steal=args.steal,
+        split_threshold=args.split_threshold,
         verbose=not args.quiet,
     )
     resume: bool | str = args.resume or args.resume_strict
     if args.resume_strict:
         resume = "strict"
-    if shard is not None and not resume:
-        # Shard workers always merge: overwriting the shared manifest from
-        # one worker would throw away every other worker's cells.
+    if (shard is not None or args.steal) and not resume:
+        # Shard and stealing workers always merge: overwriting the shared
+        # manifest from one worker would throw away every other worker's
+        # cells.
         resume = True
     try:
         results = runner.run(datasets, toolkits, resume=resume, cells=cells)
@@ -363,33 +422,56 @@ def main(argv: list[str] | None = None) -> int:
     title = f"Benchmark matrix ({args.suite} suite, horizon {args.horizon})"
     if shard is not None:
         title += f" — shard {shard[0] + 1}/{shard[1]}"
+    elif args.steal:
+        title += f" — stealing worker {worker_id}"
     print(render_detail_table(results, title))
 
     provenance = {}
+    scheduler = None
     manifest = runner.last_manifest_
     if manifest is not None:
-        if isinstance(manifest, SharedManifest):
-            sidecar = manifest
-        else:
-            # A merging (coordinator) invocation still reports which shard
-            # worker computed each cell, from the claim sidecar.
-            sidecar = SharedManifest(
-                manifest.path,
+        reported = {(run.dataset, run.toolkit) for run in results.runs}
+        # Work-stealing runs keep provenance in the queue document; it is
+        # richer than the claim sidecar (splits, steals, per-worker load),
+        # so it wins when both exist.  A merging invocation reads it the
+        # same way the workers wrote it.
+        queue = getattr(runner, "last_queue_", None)
+        if queue is None:
+            queue = CellQueue(
+                CellQueue.doc_for_manifest(manifest.path),
                 manifest.fingerprint,
+                backend=manifest.backend,
                 worker="provenance-reader",
-                backend=store,
             )
-        # Never-sharded runs have no sidecar (wherever it would live).
-        if sidecar.has_claims():
-            reported = {(run.dataset, run.toolkit) for run in results.runs}
+        if queue.exists():
             provenance = {
                 cell: worker
-                for cell, worker in sidecar.provenance().items()
+                for cell, worker in queue.provenance().items()
                 if cell in reported
             }
-            footnote = render_shard_provenance(provenance)
-            if footnote:
-                print(f"\n{footnote}")
+            scheduler = queue.scheduler_stats()
+        else:
+            if isinstance(manifest, SharedManifest):
+                sidecar = manifest
+            else:
+                # A merging (coordinator) invocation still reports which
+                # shard worker computed each cell, from the claim sidecar.
+                sidecar = SharedManifest(
+                    manifest.path,
+                    manifest.fingerprint,
+                    worker="provenance-reader",
+                    backend=store,
+                )
+            # Never-sharded runs have no sidecar (wherever it would live).
+            if sidecar.has_claims():
+                provenance = {
+                    cell: worker
+                    for cell, worker in sidecar.provenance().items()
+                    if cell in reported
+                }
+        footnote = render_shard_provenance(provenance, scheduler=scheduler)
+        if footnote:
+            print(f"\n{footnote}")
 
     failures = _failure_summary(results)
     summary = {
@@ -404,8 +486,10 @@ def main(argv: list[str] | None = None) -> int:
         "store_url": args.store_url,
         "resumed": bool(resume),
         "shard": None if shard is None else f"{shard[0] + 1}/{shard[1]}",
+        "steal": bool(args.steal),
         "worker_id": worker_id,
         "workers": sorted(set(provenance.values())) if provenance else [],
+        "scheduler": scheduler,
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -69,6 +69,7 @@ from .results import ToolkitRun
 __all__ = [
     "RunManifest",
     "SharedManifest",
+    "HeartbeatBeacon",
     "ManifestMismatchError",
     "ManifestMismatchWarning",
     "suite_spec",
@@ -344,6 +345,66 @@ class _AbortUpdate(Exception):
     """Raised inside an ``update_doc`` function to leave the doc untouched."""
 
 
+class HeartbeatBeacon:
+    """Picklable liveness callback refreshing one worker's claim heartbeats.
+
+    Closes the heartbeat gap during long cells: :meth:`SharedManifest.heartbeat`
+    only fires at checkpoints, so a single slow cell under an aggressive
+    ``reclaim_stale`` looks dead mid-execution and invites a spurious
+    steal.  A beacon travels *into* cell execution (as
+    ``ToolkitRunTask.heartbeat`` and T-Daub's ``progress_callback``) and
+    bumps every claim carrying this worker's token — at most once per
+    ``interval`` seconds, swallowing every store error, because liveness
+    reporting must never take down the cell it reports on.
+    """
+
+    def __init__(
+        self, backend: StoreBackend, doc: str, token: str, interval: float = 1.0
+    ):
+        self.backend = backend
+        self.doc = doc
+        self.token = token
+        self.interval = float(interval)
+        self._last = 0.0
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_last"] = 0.0  # throttle clock is per-process
+        return state
+
+    def __call__(self, info: Mapping[str, Any] | None = None) -> None:
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+
+        def transact(text: str | None) -> str:
+            try:
+                record = json.loads(text) if text is not None else None
+            except (ValueError, TypeError):
+                record = None
+            if not isinstance(record, dict) or not isinstance(
+                record.get("claims"), list
+            ):
+                raise _AbortUpdate
+            stamp = time.time()
+            touched = False
+            for claim in record["claims"]:
+                if isinstance(claim, dict) and claim.get("token") == self.token:
+                    claim["heartbeat"] = stamp
+                    touched = True
+            if not touched:
+                raise _AbortUpdate
+            return json.dumps(record, indent=1)
+
+        try:
+            self.backend.update_doc(self.doc, transact)
+        except _AbortUpdate:
+            pass
+        except Exception:  # noqa: BLE001 — liveness is strictly best-effort
+            pass
+
+
 class SharedManifest(RunManifest):
     """A run manifest safely shared by concurrent shard workers.
 
@@ -600,6 +661,16 @@ class SharedManifest(RunManifest):
             return json.dumps(record, indent=1)
 
         self._update_doc_if_changed(self.claims_doc, transact)
+
+    def beacon(self, interval: float = 1.0) -> HeartbeatBeacon:
+        """A picklable in-cell heartbeat for this worker's claims.
+
+        Handed to cell execution so heartbeats keep flowing *during* a
+        long cell, not only at checkpoints (see :class:`HeartbeatBeacon`).
+        """
+        return HeartbeatBeacon(
+            self.backend, self.claims_doc, self._token, interval=interval
+        )
 
     def release_claims(self, tags: Iterable[tuple[str, str]]) -> None:
         """Give up claims for cells this worker will not compute after all.

@@ -72,30 +72,62 @@ def render_detail_table(
 
 
 def render_shard_provenance(
-    provenance: Mapping[tuple[str, str], str], max_cells_listed: int = 4
+    provenance: Mapping[tuple[str, str], str],
+    max_cells_listed: int = 4,
+    scheduler: Mapping[str, object] | None = None,
 ) -> str:
     """Footnotes naming which shard worker computed which matrix cells.
 
     ``provenance`` is the claim-sidecar mapping produced by
-    :meth:`~repro.benchmarking.manifest.SharedManifest.provenance`.  The
-    detail tables themselves stay provenance-free (a sharded run and a
+    :meth:`~repro.benchmarking.manifest.SharedManifest.provenance` or the
+    queue-document mapping from
+    :meth:`~repro.benchmarking.sharding.CellQueue.provenance`.  The detail
+    tables themselves stay provenance-free (a sharded run and a
     single-process run render byte-identically); these footnotes are the
     place the split is reported.
+
+    ``scheduler`` — the work-stealing run's
+    :meth:`~repro.benchmarking.sharding.CellQueue.scheduler_stats` — adds
+    per-worker load (cells, split parts, steals, wall-clock) and the
+    split/steal totals, so skew is diagnosable from the artifact alone.
     """
-    if not provenance:
+    if not provenance and not scheduler:
         return ""
-    by_worker: dict[str, list[tuple[str, str]]] = {}
-    for cell in sorted(provenance):
-        by_worker.setdefault(provenance[cell], []).append(cell)
-    lines = [
-        f"Shard provenance ({len(provenance)} cells, {len(by_worker)} workers):"
-    ]
-    for worker in sorted(by_worker):
-        cells = by_worker[worker]
-        listed = ", ".join(f"{dataset}×{toolkit}" for dataset, toolkit in cells[:max_cells_listed])
-        if len(cells) > max_cells_listed:
-            listed += f", … {len(cells) - max_cells_listed} more"
-        lines.append(f"  {worker}: {len(cells)} cells ({listed})")
+    lines: list[str] = []
+    if provenance:
+        by_worker: dict[str, list[tuple[str, str]]] = {}
+        for cell in sorted(provenance):
+            by_worker.setdefault(provenance[cell], []).append(cell)
+        lines.append(
+            f"Shard provenance ({len(provenance)} cells, {len(by_worker)} workers):"
+        )
+        for worker in sorted(by_worker):
+            cells = by_worker[worker]
+            listed = ", ".join(
+                f"{dataset}×{toolkit}" for dataset, toolkit in cells[:max_cells_listed]
+            )
+            if len(cells) > max_cells_listed:
+                listed += f", … {len(cells) - max_cells_listed} more"
+            lines.append(f"  {worker}: {len(cells)} cells ({listed})")
+    if scheduler:
+        workers = scheduler.get("workers") or {}
+        splits = scheduler.get("splits") or []
+        steals = int(scheduler.get("steals") or 0)
+        if lines:
+            lines.append("")
+        lines.append(
+            f"Scheduler ({len(splits)} cells split, {steals} steals):"
+        )
+        for worker in sorted(workers):
+            stats = workers[worker]
+            lines.append(
+                f"  {worker}: {int(stats.get('cells', 0))} cells, "
+                f"{int(stats.get('parts', 0))} parts, "
+                f"{int(stats.get('stolen', 0))} stolen, "
+                f"{float(stats.get('seconds', 0.0)):.2f}s busy"
+            )
+        for dataset, toolkit in splits:
+            lines.append(f"  split: {dataset}×{toolkit}")
     return "\n".join(lines)
 
 

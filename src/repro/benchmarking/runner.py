@@ -22,6 +22,8 @@ same summary tables as an uninterrupted one.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -97,6 +99,26 @@ class BenchmarkRunner:
         pickled arrays.  Results and manifests are identical to the
         by-value path, which remains the fallback for executors without a
         plane.  On by default.
+    steal:
+        Run as an **elastic work-stealing worker** instead of taking a
+        dealt slice: cells are pulled longest-projected-cost-first from a
+        shared :class:`~repro.benchmarking.sharding.CellQueue` document
+        next to the manifest, so any number of workers — including ones
+        joining mid-run — drain one queue without pre-partitioning.  When
+        the pending queue is empty a worker steals: it reclaims entries
+        whose heartbeat went stale for ``reclaim_stale`` seconds, or picks
+        up pending parts of a long cell a peer is executing (split cells;
+        see ``split_threshold``).  Requires ``manifest_path``; implies the
+        shared-manifest protocol.  The merged manifest stays byte-identical
+        to a single-process run — scheduling is invisible in the output.
+    split_threshold:
+        A cell whose projected cost exceeds this multiple of the median
+        cell cost is decomposed into parts multiple workers can execute
+        concurrently — provided its toolkit factory supports
+        ``split_parts(n)`` (parts warm the shared evaluation store; the
+        recorded result always comes from one full merge execution).
+        ``None`` or ``0`` disables splitting.  Only meaningful with
+        ``steal``.
     verbose:
         Print one line per (dataset, toolkit) pair as the matrix runs.
     """
@@ -114,6 +136,8 @@ class BenchmarkRunner:
         worker_id: str | None = None,
         reclaim_stale: float | None = None,
         dataplane: bool = True,
+        steal: bool = False,
+        split_threshold: float | None = 2.0,
         verbose: bool = False,
     ):
         from ..store import open_store
@@ -129,12 +153,21 @@ class BenchmarkRunner:
         self.worker_id = worker_id
         self.reclaim_stale = None if reclaim_stale is None else float(reclaim_stale)
         self.dataplane = dataplane
+        self.steal = bool(steal)
+        self.split_threshold = split_threshold
         if worker_id is not None and manifest_path is None:
             from ..exceptions import InvalidParameterError
 
             raise InvalidParameterError(
                 "worker_id requires manifest_path: shard workers coordinate "
                 "through a shared manifest"
+            )
+        if self.steal and manifest_path is None:
+            from ..exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                "steal requires manifest_path: stealing workers coordinate "
+                "through a shared queue document next to the manifest"
             )
         self.verbose = verbose
 
@@ -195,6 +228,15 @@ class BenchmarkRunner:
         plane_factory = getattr(engine, "create_dataplane", None)
         plane = plane_factory() if self.dataplane and callable(plane_factory) else None
         try:
+            if self.steal:
+                if cells is not None:
+                    from ..exceptions import InvalidParameterError
+
+                    raise InvalidParameterError(
+                        "cells and steal are mutually exclusive: the queue "
+                        "decides which cells this worker runs"
+                    )
+                return self._run_stealing(datasets, toolkits, resume, engine, plane)
             return self._run(datasets, toolkits, resume, cells, engine, plane)
         finally:
             if plane is not None:
@@ -286,6 +328,13 @@ class BenchmarkRunner:
                     f"{task.tag[0]:<28s} {task.tag[1]:<18s} "
                     "claimed by another worker; skipping"
                 )
+            # Checkpoint-time heartbeats alone let a legitimately long cell
+            # age past reclaim_stale mid-execution and invite a spurious
+            # steal; a beacon threaded into the cell keeps every claim
+            # fresh per T-Daub round, not just per checkpoint.
+            beacon = manifest.beacon()
+            for task in pending:
+                task.heartbeat = beacon
 
         if plane is not None and pending:
             # Registration waits until the resume merge and claim protocol
@@ -347,6 +396,177 @@ class BenchmarkRunner:
         for task in tasks:
             if task.tag in completed:
                 results.add(completed[task.tag])
+        return results
+
+    def _run_stealing(
+        self,
+        datasets: Mapping[str, np.ndarray],
+        toolkits: Mapping[str, ToolkitFactory],
+        resume: bool | str,
+        engine: BaseExecutor,
+        plane,
+    ) -> BenchmarkResults:
+        """One elastic worker: pull, execute, record, repeat until drained.
+
+        The queue document (not a dealt slice) decides what this worker
+        runs, so the same invocation serves the first worker of a run and
+        a worker joining hours later.  Cells and merges are recorded into
+        the shared manifest exactly like the static path; parts only warm
+        the shared evaluation store and never touch the manifest, which is
+        how a split cell's merged result stays byte-identical to an
+        unsplit run.
+        """
+        from .costmodel import CellCostModel, split_factories
+        from .sharding import CellQueue
+
+        spec = suite_spec(
+            datasets,
+            toolkits,
+            horizon=self.horizon,
+            train_fraction=self.train_fraction,
+            evaluation_window=self.evaluation_window,
+            max_train_seconds=self.max_train_seconds,
+        )
+        fingerprint = fingerprint_of_spec(spec)
+        worker = self.worker_id or f"worker-{os.getpid()}"
+        manifest = SharedManifest(
+            self.manifest_path,
+            fingerprint,
+            spec,
+            worker=worker,
+            reclaim_stale=self.reclaim_stale,
+            backend=self.store,
+        )
+        if resume:
+            manifest.load(strict=resume == "strict")
+        self.last_manifest_ = manifest
+
+        splits: dict[str, tuple[np.ndarray, int]] = {}
+        for dataset_name, data in datasets.items():
+            data = as_2d_array(data)
+            splits[dataset_name] = (data, self._train_length(len(data)))
+        all_cells = [(dataset, toolkit) for dataset in datasets for toolkit in toolkits]
+
+        queue = CellQueue(
+            CellQueue.doc_for_manifest(self.manifest_path),
+            fingerprint,
+            backend=self.store,
+            worker=worker,
+            reclaim_stale=self.reclaim_stale,
+        )
+        #: The queue object of the latest stealing ``run`` — lets callers
+        #: read scheduler provenance afterwards.
+        self.last_queue_ = queue
+
+        snapshot = queue.snapshot()
+        rates = snapshot.get("rates", {}) if snapshot is not None else {}
+        cost_model = CellCostModel(datasets, toolkits, rates=rates)
+        unrecorded = [cell for cell in all_cells if manifest.get(*cell) is None]
+        if unrecorded and queue.seed(
+            cost_model.plan_entries(unrecorded, toolkits, self.split_threshold),
+            rates=cost_model.rates,
+        ):
+            self._log(
+                f"seeded work queue with {len(unrecorded)} unrecorded cells "
+                f"({queue.doc_name})"
+            )
+
+        completed: dict[tuple, ToolkitRun] = {}
+        registered: dict[str, tuple] = {}
+        part_cache: dict[tuple[str, int], list] = {}
+        batch_limit = max(1, resolve_n_jobs(self.n_jobs))
+
+        def splits_for(dataset: str):
+            data, n_train = splits[dataset]
+            if plane is None:
+                return data[:n_train], data[n_train:]
+            if dataset not in registered:
+                handle = plane.register(data)
+                registered[dataset] = (handle[:n_train], handle[n_train:])
+            return registered[dataset]
+
+        while True:
+            batch = queue.pull(limit=batch_limit)
+            if not batch:
+                counts = queue.counts()
+                # Pending work we cannot pull is a merge gated on a peer's
+                # parts; running work is a live peer (or, under
+                # reclaim_stale, a dead one we will eventually steal from).
+                # Without reclaim_stale a dead peer's leases never free up,
+                # so only pending work is worth waiting on.
+                if counts["pending"] > 0 or (
+                    self.reclaim_stale is not None and counts["running"] > 0
+                ):
+                    time.sleep(0.05)
+                    continue
+                break
+            tasks: list[ToolkitRunTask] = []
+            runnable: list[dict] = []
+            for entry in batch:
+                factory = toolkits[entry["toolkit"]]
+                if entry["kind"] == "part":
+                    index, n_parts = entry["part"]
+                    cache_key = (entry["toolkit"], int(n_parts))
+                    if cache_key not in part_cache:
+                        part_cache[cache_key] = split_factories(factory, n_parts)
+                    parts = part_cache[cache_key]
+                    if parts is None or len(parts) != int(n_parts):
+                        # The factory no longer splits the way the plan
+                        # assumed (e.g. code changed between seed and pull):
+                        # settle the part as a no-op, the merge runs cold.
+                        queue.complete(entry, seconds=0.0)
+                        continue
+                    factory = parts[int(index)]
+                train, test = splits_for(entry["dataset"])
+                tasks.append(
+                    ToolkitRunTask(
+                        tag=(entry["dataset"], entry["toolkit"]),
+                        factory=factory,
+                        train=train,
+                        test=test,
+                        horizon=self.horizon,
+                        evaluation_window=self.evaluation_window,
+                        heartbeat=queue.beacon(entry),
+                    )
+                )
+                runnable.append(entry)
+            if not tasks:
+                continue
+            outcomes = engine.map_tasks(
+                run_toolkit_task, tasks, timeout=self.max_train_seconds
+            )
+            recorded = False
+            for entry, task, outcome in zip(runnable, tasks, outcomes):
+                if self._transient_failure(outcome):
+                    self._log(
+                        f"{entry['dataset']:<28s} {entry['toolkit']:<18s} "
+                        f"transient failure; requeued ({entry['kind']})"
+                    )
+                    queue.requeue(entry)
+                    continue
+                if entry["kind"] == "part":
+                    queue.complete(entry, seconds=outcome.seconds)
+                    continue
+                self._log_outcome(task, outcome)
+                run = self._to_run(task, outcome)
+                completed[task.tag] = run
+                manifest.record(run)
+                recorded = True
+                queue.complete(entry, seconds=outcome.seconds)
+            if recorded:
+                manifest.flush()
+            # Chaos seam shared with the static path: durable results,
+            # freshly settled queue state, worker may die right here.
+            faults.check("runner.checkpoint", detail=worker)
+
+        # Final merge so this worker's results also carry the cells peers
+        # recorded (marked from_cache); our own fresh measurements win.
+        manifest.flush()
+        results = BenchmarkResults(horizon=self.horizon)
+        for cell in all_cells:
+            run = completed.get(cell) or manifest.get(*cell)
+            if run is not None:
+                results.add(run)
         return results
 
     def _checkpoint_chunks(

@@ -106,6 +106,11 @@ class AutoAITS(BaseForecaster):
         enforced cooperatively on every execution backend.  When it runs
         out the ranking falls back to the learning-curve projections
         gathered so far (the fitted model is still delivered).
+    progress_callback:
+        Forwarded verbatim to T-Daub (see
+        :class:`~repro.core.tdaub.TDaub`): per-round progress and
+        learning-curve cost projections, doubling as an in-fit liveness
+        heartbeat for schedulers watching this fit from outside.
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class AutoAITS(BaseForecaster):
         store=None,
         dataplane: bool = True,
         budget: float | None = None,
+        progress_callback=None,
     ):
         self.prediction_horizon = prediction_horizon
         self.lookback_window = lookback_window
@@ -147,6 +153,7 @@ class AutoAITS(BaseForecaster):
         self.store = store
         self.dataplane = dataplane
         self.budget = budget
+        self.progress_callback = progress_callback
 
     # -- orchestration ---------------------------------------------------------
     def fit(self, X, y=None, timestamps=None) -> "AutoAITS":
@@ -224,6 +231,7 @@ class AutoAITS(BaseForecaster):
             store=self.store,
             dataplane=self.dataplane,
             budget=self.budget,
+            progress_callback=self.progress_callback,
         )
         progress.report("t-daub", "ranking pipelines with reverse data allocation")
         tdaub.fit(train)

@@ -173,6 +173,18 @@ class TDaub(BaseEstimator):
         and the ranking falls back to the projections gathered so far.
         ``budget_exhausted_`` reports whether the deadline fired.
         ``None`` (default) means unlimited.
+    progress_callback:
+        Called after every fixed-allocation round, acceleration wave and
+        the scoring phase with one dict: ``{"phase": "fixed" | "accelerate"
+        | "score", "allocation": <samples>, "seconds_spent": <wall so
+        far>, "projected_total_seconds": <learning-curve cost projection
+        or None>}``.  The cost projection applies T-Daub's own
+        linear-extrapolation trick to *cumulative wall-clock* instead of
+        scores, so a scheduler learns what this fit will cost rounds
+        before it finishes (this is how the work-stealing queue re-prices
+        long cells online); it is also stored as ``cost_projection_``.
+        Doubles as an in-fit liveness heartbeat.  Exceptions raised by the
+        callback are swallowed — observers must never break the fit.
     """
 
     def __init__(
@@ -195,6 +207,7 @@ class TDaub(BaseEstimator):
         cache_dir: str | None = None,
         store=None,
         budget: float | None = None,
+        progress_callback: Callable[[dict], None] | None = None,
     ):
         self.pipelines = list(pipelines)
         self.min_allocation_size = min_allocation_size
@@ -214,6 +227,7 @@ class TDaub(BaseEstimator):
         self.cache_dir = cache_dir
         self.store = store
         self.budget = budget
+        self.progress_callback = progress_callback
 
     # -- helpers -------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -237,6 +251,40 @@ class TDaub(BaseEstimator):
         if self.allocation_direction == "recent_first":
             return T1[len(T1) - allocation :]
         return T1[:allocation]
+
+    def _notify_progress(self, phase: str, allocation: int) -> None:
+        """Record one cost-curve point and report progress outward.
+
+        The cost curve is (allocation, cumulative wall-clock) per completed
+        phase step — a learning curve over *cost* rather than score.  With
+        two or more points the same linear extrapolation used by
+        :meth:`PipelineEvaluation.project` predicts the total seconds this
+        fit will take at the full data length; the projection is clipped
+        below at the wall already spent (cost curves never go down).
+        """
+        spent = time.perf_counter() - self._fit_start
+        self._cost_curve.append((float(allocation), float(spent)))
+        if len(self._cost_curve) >= 2:
+            sizes = np.array([size for size, _ in self._cost_curve], dtype=float)
+            seconds = np.array([cost for _, cost in self._cost_curve], dtype=float)
+            fit = ols_fit(sizes.reshape(-1, 1), seconds)
+            projected = float(
+                fit.predict(np.array([[float(self._full_length)]]))[0]
+            )
+            self.cost_projection_ = max(projected, spent)
+        if self.progress_callback is None:
+            return
+        try:
+            self.progress_callback(
+                {
+                    "phase": phase,
+                    "allocation": int(allocation),
+                    "seconds_spent": spent,
+                    "projected_total_seconds": self.cost_projection_,
+                }
+            )
+        except Exception:  # noqa: BLE001 — observers must never break the fit
+            pass
 
     def _evaluate_batch(
         self,
@@ -358,6 +406,9 @@ class TDaub(BaseEstimator):
 
     def _fit(self, T, start_time: float) -> "TDaub":
         self._batch_size = max(1, resolve_n_jobs(self.n_jobs))
+        self._fit_start = start_time
+        self._cost_curve: list[tuple[float, float]] = []
+        self.cost_projection_: float | None = None
         self._cache = (
             EvaluationCache(cache_dir=self.cache_dir, store=self.store)
             if self.memoize
@@ -373,6 +424,7 @@ class TDaub(BaseEstimator):
         n_test = max(n_test, 1)
         T1, T2 = T[: len(T) - n_test], T[len(T) - n_test :]
         L = len(T1)
+        self._full_length = L
         if self._plane is not None:
             # Register the splits once: every allocation below derives a
             # zero-copy (base_ref, offset) slice instead of carrying array
@@ -411,6 +463,7 @@ class TDaub(BaseEstimator):
             scores = self._evaluate_batch(
                 [(name, templates[name], T1, T2) for name in names], evaluations
             )
+            self._notify_progress("score", L)
             for name, score in zip(names, scores):
                 evaluations[name].final_score = score
             # Explicit None check: a perfect forecast scores -0.0, which is
@@ -441,6 +494,7 @@ class TDaub(BaseEstimator):
             self._evaluate_batch(
                 [(name, templates[name], train, T2) for name in names], evaluations
             )
+            self._notify_progress("fixed", allocation)
             if allocation >= L:
                 break
 
@@ -504,6 +558,9 @@ class TDaub(BaseEstimator):
                 ],
                 evaluations,
             )
+            self._notify_progress(
+                "accelerate", max(alloc for _, _, alloc in wave)
+            )
             stop = False
             for order, name, alloc in wave:
                 last_allocation[name] = alloc
@@ -539,6 +596,7 @@ class TDaub(BaseEstimator):
         final_scores = self._evaluate_batch(
             [(name, templates[name], T1, T2) for name in final_names], evaluations
         )
+        self._notify_progress("score", L)
         for name, score in zip(final_names, final_scores):
             if (
                 self._deadline is not None

@@ -130,6 +130,12 @@ class ToolkitRunTask:
     test: np.ndarray | ArrayRef
     horizon: int
     evaluation_window: int | None = None
+    #: Optional liveness callback (e.g. a claim/queue heartbeat beacon).
+    #: Pulsed once when the cell starts; models exposing an unset
+    #: ``progress_callback`` attribute also receive it, so long fits keep
+    #: heartbeating from *inside* execution instead of looking dead until
+    #: the next checkpoint.
+    heartbeat: Callable[..., None] | None = None
 
 
 @dataclass
@@ -157,6 +163,19 @@ def run_toolkit_task(task: ToolkitRunTask) -> ToolkitRunResult:
         train = resolve_array(task.train)
         test = resolve_array(task.test)
         model = task.factory(task.horizon)
+        if task.heartbeat is not None:
+            try:
+                task.heartbeat()
+            except Exception:  # noqa: BLE001 — liveness is best-effort
+                pass
+            # Thread the beacon into models that accept a progress
+            # callback (AutoAITS/T-Daub) without overriding one the
+            # factory already configured.
+            if (
+                hasattr(model, "progress_callback")
+                and getattr(model, "progress_callback") is None
+            ):
+                model.progress_callback = task.heartbeat
         model.fit(train)
         elapsed = time.perf_counter() - start
         forecast = np.asarray(model.predict(window), dtype=float)
