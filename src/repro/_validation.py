@@ -33,7 +33,15 @@ def as_2d_array(values, name: str = "X", dtype=float, allow_nan: bool = True) ->
     1-D input is treated as a single time series (one column).  Non-numeric
     input raises :class:`DataQualityError` because it indicates the data did
     not pass the paper's quality check (strings / unexpected characters).
+
+    Columnar frames (``repro.frame``) are accepted by duck type — the
+    marker attribute, not an import, so this module stays dependency-free
+    — and are **materialized** here: this is the compatibility path for
+    consumers that only speak 2-D arrays.  Code that can stream should
+    check ``is_timeseries_frame`` itself before falling through to this.
     """
+    if getattr(values, "is_timeseries_frame", False):
+        values = values.to_array()
     try:
         array = np.asarray(values, dtype=dtype)
     except (TypeError, ValueError) as exc:

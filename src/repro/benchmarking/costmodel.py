@@ -150,9 +150,14 @@ class CellCostModel:
         for toolkit, factory in toolkits.items():
             self._toolkit_units[toolkit] = float(pipeline_count(factory))
         for dataset, data in datasets.items():
-            array = np.asarray(data)
-            samples = float(array.shape[0]) if array.ndim else 1.0
-            columns = float(array.shape[1]) if array.ndim > 1 else 1.0
+            if getattr(data, "is_timeseries_frame", False):
+                # Columnar frames answer their shape without materializing
+                # (np.asarray on a spilled frame would pull every chunk).
+                samples, columns = float(len(data)), float(data.n_columns)
+            else:
+                array = np.asarray(data)
+                samples = float(array.shape[0]) if array.ndim else 1.0
+                columns = float(array.shape[1]) if array.ndim > 1 else 1.0
             for toolkit in toolkits:
                 self._units[(dataset, toolkit)] = (
                     samples * columns * self._toolkit_units[toolkit]

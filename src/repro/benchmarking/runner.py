@@ -41,6 +41,38 @@ __all__ = ["BenchmarkRunner"]
 ToolkitFactory = Callable[[int], BaseForecaster]
 
 
+def _canonical_dataset(data):
+    """Normalize one dataset input: frames pass through, arrays coerce.
+
+    Columnar frames (in-RAM or spilled) stay columnar all the way into
+    the tasks — splitting is ``slice_rows`` views and registration is
+    per-column — so a spilled dataset is never materialized in the
+    runner process.
+    """
+    if getattr(data, "is_timeseries_frame", False):
+        return data
+    return as_2d_array(data)
+
+
+def _split_payload(handle, n_train: int):
+    """Train/test split of any dataset handle (array, ref or frame)."""
+    if getattr(handle, "is_timeseries_frame", False):
+        return handle.slice_rows(0, n_train), handle.slice_rows(n_train, len(handle))
+    return handle[:n_train], handle[n_train:]
+
+
+def _register_payload(plane, data):
+    """Register one dataset with the data plane, per column for frames.
+
+    Spilled frames come back unchanged (they are already tiny, lazy
+    handles); in-RAM frames become per-column :class:`FrameRef`s; plain
+    arrays keep the historical monolithic registration.
+    """
+    if getattr(data, "is_timeseries_frame", False):
+        return plane.register_frame(data)
+    return plane.register(data)
+
+
 class BenchmarkRunner:
     """Run a set of toolkits over a set of data sets with shared splits.
 
@@ -180,10 +212,14 @@ class BenchmarkRunner:
         return min(max(n_train, 1), n_samples - 1)
 
     def split(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """80/20 (by default) temporal split shared by every toolkit."""
-        data = as_2d_array(data)
+        """80/20 (by default) temporal split shared by every toolkit.
+
+        Columnar frames split into zero-copy ``slice_rows`` views (no
+        materialization — a spilled frame stays on disk).
+        """
+        data = _canonical_dataset(data)
         n_train = self._train_length(len(data))
-        return data[:n_train], data[n_train:]
+        return _split_payload(data, n_train)
 
     def evaluate_toolkit(
         self, factory: ToolkitFactory, train: np.ndarray, test: np.ndarray
@@ -255,9 +291,10 @@ class BenchmarkRunner:
         tasks: list[ToolkitRunTask] = []
         splits: dict[str, tuple[np.ndarray, int]] = {}
         for dataset_name, data in datasets.items():
-            data = as_2d_array(data)
+            data = _canonical_dataset(data)
             n_train = self._train_length(len(data))
             splits[dataset_name] = (data, n_train)
+            train_part, test_part = _split_payload(data, n_train)
             for toolkit_name, factory in toolkits.items():
                 if cell_filter is not None and (dataset_name, toolkit_name) not in cell_filter:
                     continue
@@ -265,8 +302,8 @@ class BenchmarkRunner:
                     ToolkitRunTask(
                         tag=(dataset_name, toolkit_name),
                         factory=factory,
-                        train=data[:n_train],
-                        test=data[n_train:],
+                        train=train_part,
+                        test=test_part,
                         horizon=self.horizon,
                         evaluation_window=self.evaluation_window,
                     )
@@ -350,8 +387,8 @@ class BenchmarkRunner:
                 dataset_name = task.tag[0]
                 if dataset_name not in registered:
                     data, n_train = splits[dataset_name]
-                    handle = plane.register(data)
-                    registered[dataset_name] = (handle[:n_train], handle[n_train:])
+                    handle = _register_payload(plane, data)
+                    registered[dataset_name] = _split_payload(handle, n_train)
                 task.train, task.test = registered[dataset_name]
 
         try:
@@ -443,7 +480,7 @@ class BenchmarkRunner:
 
         splits: dict[str, tuple[np.ndarray, int]] = {}
         for dataset_name, data in datasets.items():
-            data = as_2d_array(data)
+            data = _canonical_dataset(data)
             splits[dataset_name] = (data, self._train_length(len(data)))
         all_cells = [(dataset, toolkit) for dataset in datasets for toolkit in toolkits]
 
@@ -479,10 +516,10 @@ class BenchmarkRunner:
         def splits_for(dataset: str):
             data, n_train = splits[dataset]
             if plane is None:
-                return data[:n_train], data[n_train:]
+                return _split_payload(data, n_train)
             if dataset not in registered:
-                handle = plane.register(data)
-                registered[dataset] = (handle[:n_train], handle[n_train:])
+                handle = _register_payload(plane, data)
+                registered[dataset] = _split_payload(handle, n_train)
             return registered[dataset]
 
         while True:

@@ -29,11 +29,15 @@ from .cache import CacheStats, EvaluationCache, estimator_fingerprint
 from .dataplane import (
     ArrayRef,
     DataPlane,
+    FrameColumnRef,
+    FrameRef,
     SharedMemoryPlane,
     array_digest,
     array_fingerprint,
     hydrate_task,
     resolve_array,
+    resolve_frame,
+    resolve_payload,
 )
 from .executor import (
     BaseExecutor,
@@ -70,12 +74,16 @@ __all__ = [
     "RemoteBlobPlane",
     "WireStats",
     "ArrayRef",
+    "FrameRef",
+    "FrameColumnRef",
     "DataPlane",
     "SharedMemoryPlane",
     "array_digest",
     "array_fingerprint",
     "hydrate_task",
     "resolve_array",
+    "resolve_frame",
+    "resolve_payload",
     "EvaluationCache",
     "CacheStats",
     "estimator_fingerprint",

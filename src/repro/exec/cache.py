@@ -35,7 +35,13 @@ from typing import Any, Hashable
 
 import numpy as np
 
-from .dataplane import ArrayRef, array_fingerprint, resolve_array
+from .dataplane import (
+    ArrayRef,
+    FrameRef,
+    _frame_ref_fingerprint,
+    array_fingerprint,
+    resolve_array,
+)
 from .store import DiskStore, key_digest
 
 __all__ = ["EvaluationCache", "CacheStats"]
@@ -74,11 +80,24 @@ def _slice_fingerprint(data: Any, plane: Any = None) -> tuple:
     are identical whether data travelled by value or by reference.  The
     plane memoizes per-slice fingerprints, saving one full-content hash
     per additional pipeline evaluated on the same slice.
+
+    Columnar frames fingerprint **per column** (memoized inside the frame
+    object), and :class:`~repro.exec.dataplane.FrameRef` windows produce
+    the identical tuple from their registered digests — the same logical
+    content keys the same cache entry whether it arrived as an in-RAM
+    frame, a spilled frame or a per-column ref, and selecting 2 of 40
+    exogenous columns hashes 2 buffers, never the base.
     """
     if isinstance(data, ArrayRef):
         if plane is not None:
             return plane.fingerprint(data)
         return array_fingerprint(np.asarray(resolve_array(data), dtype=float))
+    if isinstance(data, FrameRef):
+        if plane is not None:
+            return plane.fingerprint(data)
+        return _frame_ref_fingerprint(data)
+    if getattr(data, "is_timeseries_frame", False):
+        return data.fingerprint()
     return array_fingerprint(np.asarray(data, dtype=float))
 
 

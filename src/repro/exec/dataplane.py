@@ -53,11 +53,15 @@ from ..store.digest import array_digest
 
 __all__ = [
     "ArrayRef",
+    "FrameColumnRef",
+    "FrameRef",
     "DataPlane",
     "SharedMemoryPlane",
     "array_digest",
     "array_fingerprint",
     "resolve_array",
+    "resolve_frame",
+    "resolve_payload",
     "hydrate_task",
     "publish_blob",
     "blob_is_known",
@@ -122,6 +126,74 @@ class ArrayRef:
     def slice(self, start: int, stop: int) -> "ArrayRef":
         """Explicit form of ``ref[start:stop]``."""
         return self[start:stop]
+
+
+@dataclass(frozen=True)
+class FrameColumnRef:
+    """One column of a registered frame, by reference.
+
+    ``values`` addresses the column's *physical* buffer (dictionary codes
+    when ``encoding == "dict"``, the logical values otherwise) as an
+    ordinary full-range :class:`ArrayRef`; ``dictionary`` addresses the
+    decode table.  ``dtype`` is the **logical** dtype string.
+    """
+
+    name: str
+    dtype: str
+    encoding: str
+    values: ArrayRef
+    dictionary: ArrayRef | None = None
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """A row window over selected columns of a registered frame.
+
+    The per-column generalization of :class:`ArrayRef`: where an
+    ``ArrayRef`` names one monolithic base, a ``FrameRef`` carries one
+    tiny ref *per column* plus a shared row window.  Narrowing is free in
+    both axes — ``ref[a:b]`` moves the window, :meth:`select` drops
+    column refs — and every distribution channel (shared memory, remote
+    blob sync, blob spill) moves only the buffers the surviving refs
+    name: selecting 2 of 40 exogenous columns ships and hashes 2
+    buffers, not the base.
+    """
+
+    columns: tuple[FrameColumnRef, ...]
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def __getitem__(self, item: slice) -> "FrameRef":
+        """Derive a narrower row window; contiguous row slices only."""
+        if not isinstance(item, slice) or item.step not in (None, 1):
+            raise TypeError("FrameRef supports contiguous row slices (no step)")
+        start, stop, _ = item.indices(len(self))
+        return dataclasses.replace(
+            self, start=self.start + start, stop=self.start + max(stop, start)
+        )
+
+    def slice(self, start: int, stop: int) -> "FrameRef":
+        """Explicit form of ``ref[start:stop]``."""
+        return self[start:stop]
+
+    def select(self, names) -> "FrameRef":
+        """Column projection: keep only the named column refs."""
+        by_name = {column.name: column for column in self.columns}
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise KeyError(
+                f"unknown frame columns: {missing}; have {list(self.names)}"
+            )
+        return dataclasses.replace(
+            self, columns=tuple(by_name[name] for name in names)
+        )
 
 
 class _BaseEntry:
@@ -289,10 +361,22 @@ def ensure_task_blobs(task: Any, fetch) -> None:
         return
     for field in dataclasses.fields(task):
         value = getattr(task, field.name)
-        if isinstance(value, ArrayRef) and not blob_is_known(value.digest):
-            spilled = fetch(value.digest)
-            if spilled is not None:
-                install_blob(value.digest, spilled)
+        for ref in _iter_array_refs(value):
+            if not blob_is_known(ref.digest):
+                spilled = fetch(ref.digest)
+                if spilled is not None:
+                    install_blob(ref.digest, spilled)
+
+
+def _iter_array_refs(value: Any):
+    """Every :class:`ArrayRef` a task field transports (frames included)."""
+    if isinstance(value, ArrayRef):
+        yield value
+    elif isinstance(value, FrameRef):
+        for column in value.columns:
+            yield column.values
+            if column.dictionary is not None:
+                yield column.dictionary
 
 
 def resolve_array(data: Any) -> np.ndarray:
@@ -332,20 +416,90 @@ def resolve_array(data: Any) -> np.ndarray:
     return base[data.start : data.stop]
 
 
+def resolve_frame(ref: FrameRef):
+    """Materialize a :class:`FrameRef` as an in-RAM columnar frame.
+
+    Each column's physical base is resolved through the same channel walk
+    as :func:`resolve_array` and the row window is applied as a **view**
+    — a resolved frame shares the pinned bases column for column, and
+    selecting columns before resolution means unselected bases are never
+    even looked up.  The satellite no-copy regression tests assert
+    ``np.shares_memory`` between resolved columns and the registry bases.
+    """
+    from ..frame.frame import FrameColumn, TimeSeriesFrame
+
+    columns = []
+    for column_ref in ref.columns:
+        base = resolve_array(column_ref.values)
+        values = base[ref.start - column_ref.values.start : ref.stop - column_ref.values.start]
+        dictionary = (
+            None
+            if column_ref.dictionary is None
+            else resolve_array(column_ref.dictionary)
+        )
+        column = FrameColumn.__new__(FrameColumn)
+        column.name = column_ref.name
+        column.values = values
+        column.dictionary = dictionary
+        column._digest = None
+        columns.append(column)
+    return TimeSeriesFrame(columns)
+
+
+def _frame_ref_fingerprint(ref: FrameRef) -> tuple:
+    """Per-column content fingerprint of a :class:`FrameRef` window.
+
+    Matches ``TimeSeriesFrame.fingerprint()`` of the resolved frame
+    exactly (the cache-key invariant across representations).  A window
+    covering the whole base reuses the digests already embedded in the
+    column refs — no bytes are touched; only proper row windows hash
+    their sliced views.
+    """
+    entries = []
+    for column in ref.columns:
+        if ref.start == column.values.start and ref.stop == column.values.stop:
+            values_digest = column.values.digest
+        else:
+            base = resolve_array(column.values)
+            values_digest = array_digest(
+                base[ref.start - column.values.start : ref.stop - column.values.start]
+            )
+        digests = (values_digest,)
+        if column.dictionary is not None:
+            digests += (column.dictionary.digest,)
+        entries.append((column.name, column.dtype, column.encoding) + digests)
+    return ("frame", len(ref), tuple(entries))
+
+
+def resolve_payload(data: Any) -> Any:
+    """Materialize any task payload: refs resolve, frames and arrays pass.
+
+    The one resolution entry point task runners should use now that
+    payloads come in four shapes: plain arrays, :class:`ArrayRef`,
+    in-RAM/spilled frames (pass through — spilled frames are already
+    lazy) and :class:`FrameRef`.
+    """
+    if isinstance(data, FrameRef):
+        return resolve_frame(data)
+    return resolve_array(data)
+
+
 def hydrate_task(task: Any) -> Any:
-    """Return a copy of a dataclass task with every ``ArrayRef`` resolved.
+    """Return a copy of a dataclass task with every ref field resolved.
 
     Used by a worker server whose local engine cannot ``fork`` (and so
     cannot hand its blob registry to task processes for free): the refs
     are materialized once in the server process and the task proceeds by
-    value from there.  Non-dataclass tasks pass through untouched.
+    value from there.  ``FrameRef`` fields hydrate into in-RAM frames
+    whose columns are views of the server's bases.  Non-dataclass tasks
+    pass through untouched.
     """
     if not dataclasses.is_dataclass(task) or isinstance(task, type):
         return task
     updates = {
-        field.name: resolve_array(value)
+        field.name: resolve_payload(value)
         for field in dataclasses.fields(task)
-        if isinstance(value := getattr(task, field.name), ArrayRef)
+        if isinstance(value := getattr(task, field.name), (ArrayRef, FrameRef))
     }
     return dataclasses.replace(task, **updates) if updates else task
 
@@ -399,12 +553,77 @@ class DataPlane:
             shm_name=None,
         )
 
+    def register_frame(self, frame) -> "FrameRef | Any":
+        """Pin a columnar frame per column; returns a :class:`FrameRef`.
+
+        Each column's physical buffer (and dictionary) is pinned through
+        the same ``_pin`` seam as monolithic bases, so every subclass
+        channel — shared-memory segments, remote blob enrollment — is
+        per-column automatically.  Buffers keep their own dtypes: codes
+        stay ``uint8``, no float coercion (the logical decode happens at
+        gather time).  Spilled frames pass through untouched (they are
+        already tiny, lazy and picklable), as does any frame when some
+        buffer cannot be pinned — by-value fallback, same contract as
+        :meth:`register`.
+        """
+        if self._closed:
+            raise RuntimeError("DataPlane is closed")
+        columns = getattr(frame, "columns", None)
+        if columns is None:
+            # Out-of-core residences have no in-RAM buffers to pin.
+            return frame
+        pinned: list[str] = []
+        column_refs = []
+        for column in columns:
+            digests = column.digest()
+            ref = self._pin(digests[0], column.values)
+            if ref is None:
+                break
+            pinned.append(digests[0])
+            dictionary_ref = None
+            if column.dictionary is not None:
+                dictionary_ref = self._pin(digests[1], column.dictionary)
+                if dictionary_ref is None:
+                    break
+                pinned.append(digests[1])
+            column_refs.append(
+                FrameColumnRef(
+                    name=column.name,
+                    dtype=column.dtype.str,
+                    encoding=column.encoding,
+                    values=ref,
+                    dictionary=dictionary_ref,
+                )
+            )
+        else:
+            self._retained.extend(pinned)
+            return FrameRef(columns=tuple(column_refs), start=0, stop=len(frame))
+        # A buffer refused to pin: release what this call retained and
+        # fall back to shipping the frame by value.
+        for digest in pinned:
+            _release_base(digest)
+        return frame
+
     # -- resolution ------------------------------------------------------------
     def resolve(self, data: Any) -> np.ndarray:
-        return resolve_array(data)
+        return resolve_payload(data)
 
     def fingerprint(self, data: Any) -> tuple:
-        """Content fingerprint of a ref's slice (memoized) or a plain array."""
+        """Content fingerprint of a payload slice (memoized per ref).
+
+        Plain arrays hash directly; ``ArrayRef`` slices memoize per
+        ``(digest, start, stop)``; frames answer their own per-column
+        fingerprint; ``FrameRef`` windows memoize here, reusing the
+        registered base digests outright when the window covers the full
+        base (the common train-on-everything case hashes nothing).
+        """
+        if isinstance(data, FrameRef):
+            cached = self._fingerprints.get(data)
+            if cached is None:
+                cached = self._fingerprints[data] = _frame_ref_fingerprint(data)
+            return cached
+        if getattr(data, "is_timeseries_frame", False):
+            return data.fingerprint()
         if not isinstance(data, ArrayRef):
             return array_fingerprint(np.asarray(data, dtype=float))
         key = (data.digest, data.start, data.stop)

@@ -23,7 +23,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .dataplane import ArrayRef, resolve_array
+from .dataplane import ArrayRef, FrameRef, resolve_payload
 
 __all__ = [
     "FitScoreTask",
@@ -47,17 +47,18 @@ def _apply_horizon(model: Any, horizon: int) -> None:
 class FitScoreTask:
     """One independent (pipeline template, allocation slice) evaluation.
 
-    ``train``/``test`` are either array values or zero-copy
-    :class:`~repro.exec.dataplane.ArrayRef` slices of a base array the
-    caller registered with the execution engine's data plane; the runner
-    resolves refs in the worker, so a ref task pickles in bytes instead
-    of megabytes.
+    ``train``/``test`` are either array values, zero-copy
+    :class:`~repro.exec.dataplane.ArrayRef`/:class:`~repro.exec.dataplane.FrameRef`
+    slices of data the caller registered with the execution engine's data
+    plane, or columnar frames (spilled frames ship as tiny lazy specs);
+    the runner resolves refs in the worker, so a ref task pickles in
+    bytes instead of megabytes.
     """
 
     tag: Any
     template: Any
-    train: np.ndarray | ArrayRef
-    test: np.ndarray | ArrayRef
+    train: np.ndarray | ArrayRef | FrameRef
+    test: np.ndarray | ArrayRef | FrameRef
     horizon: int
     scorer: Callable[[Any, np.ndarray], float] | None = None
 
@@ -93,8 +94,8 @@ def run_fit_score_task(task: FitScoreTask) -> FitScoreResult:
 
     start = time.perf_counter()
     try:
-        train = resolve_array(task.train)
-        test = resolve_array(task.test)
+        train = resolve_payload(task.train)
+        test = resolve_payload(task.test)
         candidate = clone(task.template)
         _apply_horizon(candidate, task.horizon)
         candidate.fit(train)
@@ -120,14 +121,14 @@ class ToolkitRunTask:
     """One (dataset, toolkit) cell of the benchmark matrix.
 
     Like :class:`FitScoreTask`, ``train``/``test`` may be data-plane
-    :class:`~repro.exec.dataplane.ArrayRef` slices instead of array
-    values.
+    :class:`~repro.exec.dataplane.ArrayRef`/:class:`~repro.exec.dataplane.FrameRef`
+    slices or columnar frames instead of array values.
     """
 
     tag: Any
     factory: Callable[[int], Any]
-    train: np.ndarray | ArrayRef
-    test: np.ndarray | ArrayRef
+    train: np.ndarray | ArrayRef | FrameRef
+    test: np.ndarray | ArrayRef | FrameRef
     horizon: int
     evaluation_window: int | None = None
     #: Optional liveness callback (e.g. a claim/queue heartbeat beacon).
@@ -160,8 +161,12 @@ def run_toolkit_task(task: ToolkitRunTask) -> ToolkitRunResult:
     window = min(window, len(task.test))
     start = time.perf_counter()
     try:
-        train = resolve_array(task.train)
-        test = resolve_array(task.test)
+        train = resolve_payload(task.train)
+        test = resolve_payload(task.test)
+        if getattr(test, "is_timeseries_frame", False):
+            # Scoring only reads the evaluation window; materialize just
+            # those rows instead of the whole (possibly spilled) split.
+            test = test.gather(0, min(window, len(test)))
         model = task.factory(task.horizon)
         if task.heartbeat is not None:
             try:

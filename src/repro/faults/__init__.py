@@ -45,6 +45,17 @@ site                     detail                          honored actions
                                                          claim and checkpoint)
 ``runner.checkpoint``    worker id (or ``""``)           ``error`` (die right
                                                          after a checkpoint)
+``frame.chunk_read``     chunk blob digest               ``error`` (torn/short
+                                                         read: the chunk comes
+                                                         back truncated),
+                                                         ``corrupt`` (garbled
+                                                         page), ``stall`` —
+                                                         digest verification
+                                                         catches both and the
+                                                         read retries, falling
+                                                         back from mmap to
+                                                         ``get_blob`` (see
+                                                         ``repro.frame.chunked``)
 ======================== =============================== =======================
 
 Seams call :func:`fire` and interpret the returned rule themselves, so a

@@ -1,0 +1,96 @@
+"""Feature-gated chunk engines for frame row gathering.
+
+The framer needs one primitive from a frame: *give me rows ``[a, b)`` as
+a float64 row-major block*.  The default engine is pure numpy over
+mmap'd ``.npy`` chunks — always available, no dependencies, and the one
+every byte-identity guarantee is stated against.  ``REPRO_FRAME_ENGINE``
+selects an experimental alternative:
+
+- ``numpy`` (default): ``frame.gather`` — column loops over mmap'd
+  chunks.
+- ``arrow`` / ``duckdb``: assemble the row range as an Arrow table from
+  the chunk buffers and let DuckDB produce the float64 block (a
+  vectorized cast + column stack).  This is the hook where Parquet
+  chunk payloads and SQL window-function framing plug in; today it is an
+  **experimental** residence for the same bytes.
+
+When the requested engine's dependency is missing (neither ``pyarrow``
+nor ``duckdb`` ships in the default environment) the gate warns once and
+falls back to numpy — an environment variable must never turn into a
+crash at frame-read time.  Any per-call engine error likewise degrades
+to the numpy path: engines may differ in speed, never in bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+__all__ = ["active_engine", "gather_rows", "ENGINE_ENV"]
+
+#: Environment variable naming the chunk engine; unset means numpy.
+ENGINE_ENV = "REPRO_FRAME_ENGINE"
+
+_KNOWN_ENGINES = ("numpy", "arrow", "duckdb")
+
+#: Engines we already warned about, so a long run logs each downgrade once.
+_WARNED: set[str] = set()
+
+
+def _warn_once(requested: str, reason: str) -> None:
+    if requested not in _WARNED:
+        _WARNED.add(requested)
+        warnings.warn(
+            f"frame engine {requested!r} unavailable ({reason}); "
+            f"falling back to the numpy chunk engine.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def active_engine() -> str:
+    """Resolve the configured engine to one that can actually run here."""
+    requested = os.environ.get(ENGINE_ENV, "numpy").strip().lower() or "numpy"
+    if requested not in _KNOWN_ENGINES:
+        _warn_once(requested, "unknown engine name")
+        return "numpy"
+    if requested == "numpy":
+        return "numpy"
+    try:
+        import duckdb  # noqa: F401
+        import pyarrow  # noqa: F401
+    except ImportError as exc:
+        _warn_once(requested, f"missing dependency: {exc}")
+        return "numpy"
+    return requested
+
+
+def gather_rows(frame, start: int, stop: int) -> np.ndarray:
+    """Rows ``[start, stop)`` of ``frame`` as a float64 row-major block."""
+    if active_engine() != "numpy":
+        try:
+            return _gather_rows_duckdb(frame, start, stop)
+        except Exception as exc:  # engine bugs degrade, never corrupt
+            _warn_once("duckdb-call", f"engine error: {exc}")
+    return frame.gather(start, stop)
+
+
+def _gather_rows_duckdb(frame, start: int, stop: int) -> np.ndarray:
+    """Experimental Arrow/DuckDB block assembly (requires both deps).
+
+    Builds the row range as an Arrow table (one array per logical
+    column) and lets DuckDB cast and stack it.  The bytes must equal the
+    numpy path exactly — the parity suite runs against whatever engine
+    is active — so the cast target is pinned to DOUBLE.
+    """
+    import duckdb
+    import pyarrow as pa
+
+    names = frame.names
+    block = frame.gather(start, stop)
+    table = pa.table({name: pa.array(block[:, j]) for j, name in enumerate(names)})
+    columns = duckdb.from_arrow(table).fetchnumpy()
+    stacked = np.column_stack([np.asarray(columns[name], dtype=float) for name in names])
+    return np.ascontiguousarray(stacked, dtype=float)

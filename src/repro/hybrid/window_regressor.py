@@ -70,33 +70,61 @@ class WindowRegressor(BaseForecaster):
             raise InvalidParameterError(
                 f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}."
             )
-        X = as_2d_array(X)
+        frame_input = getattr(X, "is_timeseries_frame", False)
+        if not frame_input:
+            X = as_2d_array(X)
+        n_samples, n_series = X.shape
         horizon = check_horizon(self.horizon)
-        lookback = self._effective_lookback(len(X), horizon if self.strategy == "direct" else 1)
+        lookback = self._effective_lookback(n_samples, horizon if self.strategy == "direct" else 1)
 
         base = self.regressor if self.regressor is not None else RandomForestRegressor()
         self.models_: list[BaseRegressor] = []
         target_horizon = horizon if self.strategy == "direct" else 1
 
-        # The lag matrix is identical for every output series, so it is
-        # framed once (a vectorized sliding_window_view inside) with the
-        # all-series targets; each per-column model then trains on its own
-        # slice of the target block instead of re-framing the series.
-        features, all_targets = make_supervised_windows(X, lookback, target_horizon)
-        all_targets = np.asarray(all_targets).reshape(
-            len(features), target_horizon, X.shape[1]
-        )
-        for column in range(X.shape[1]):
-            targets = np.ascontiguousarray(all_targets[:, :, column])
-            if target_horizon == 1:
-                targets = targets.ravel()
-            model = clone(base)
-            model.fit(features, targets)
-            self.models_.append(model)
+        if frame_input and hasattr(base, "partial_fit"):
+            # Out-of-core path: the framer streams supervised-window
+            # blocks straight off the frame's chunks and each per-column
+            # model folds them in via partial_fit — the full lag tensor
+            # never exists.  Identical block sequence → bit-identical
+            # coefficients, so two out-of-core runs (or an in-memory run
+            # on the same frame) converge on the same model.
+            from ..frame.framer import ChunkedWindowFramer
+
+            framer = ChunkedWindowFramer(X, lookback, target_horizon)
+            self.models_ = [clone(base) for _ in range(n_series)]
+            for features, block_targets in framer.blocks():
+                block_targets = np.asarray(block_targets).reshape(
+                    len(features), target_horizon, n_series
+                )
+                for column, model in enumerate(self.models_):
+                    targets = np.ascontiguousarray(block_targets[:, :, column])
+                    if target_horizon == 1:
+                        targets = targets.ravel()
+                    model.partial_fit(features, targets)
+        else:
+            # The lag matrix is identical for every output series, so it is
+            # framed once (a vectorized sliding_window_view inside; frames
+            # delegate to the streaming framer) with the all-series
+            # targets; each per-column model then trains on its own slice
+            # of the target block instead of re-framing the series.
+            features, all_targets = make_supervised_windows(X, lookback, target_horizon)
+            all_targets = np.asarray(all_targets).reshape(
+                len(features), target_horizon, n_series
+            )
+            for column in range(n_series):
+                targets = np.ascontiguousarray(all_targets[:, :, column])
+                if target_horizon == 1:
+                    targets = targets.ravel()
+                model = clone(base)
+                model.fit(features, targets)
+                self.models_.append(model)
 
         self._lookback_used = lookback
-        self._n_series = X.shape[1]
-        self._last_window = X[-lookback:].copy()
+        self._n_series = n_series
+        if frame_input:
+            self._last_window = X.gather(n_samples - lookback, n_samples)
+        else:
+            self._last_window = X[-lookback:].copy()
         return self
 
     def _predict_recursive(self, horizon: int) -> np.ndarray:

@@ -10,7 +10,7 @@ here on top of numpy (see DESIGN.md, substitution table).
 from .boosting import GradientBoostingRegressor
 from .forest import RandomForestRegressor
 from .knn import KNeighborsRegressor
-from .linear import LinearRegression, RidgeRegression
+from .linear import LinearRegression, RidgeRegression, StreamingRidge
 from .mlp import MLPRegressor
 from .model_selection import GridSearch, TimeSeriesSplit, temporal_train_test_split
 from .sgd import SGDRegressor
@@ -20,6 +20,7 @@ from .tree import DecisionTreeRegressor
 __all__ = [
     "LinearRegression",
     "RidgeRegression",
+    "StreamingRidge",
     "SGDRegressor",
     "DecisionTreeRegressor",
     "RandomForestRegressor",

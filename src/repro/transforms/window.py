@@ -49,7 +49,20 @@ def make_supervised_windows(
     targets:
         ``(n_windows, horizon * n_targets)``; squeezed to 1-D when a single
         value per window is produced.
+
+    Columnar frames (``repro.frame``) delegate to the streaming
+    :class:`~repro.frame.framer.ChunkedWindowFramer` — the full tensor is
+    still returned (this function's contract), but the source rows are
+    gathered block by block, so a spilled frame is never materialized
+    whole alongside its lag matrix.  The output is byte-identical to
+    framing ``frame.to_array()`` here.
     """
+    if getattr(X, "is_timeseries_frame", False):
+        from ..frame.framer import ChunkedWindowFramer
+
+        return ChunkedWindowFramer(
+            X, lookback, horizon, target_column=target_column, flatten=flatten
+        ).materialize()
     X = as_2d_array(X)
     lookback = check_positive_int(lookback, "lookback")
     horizon = check_positive_int(horizon, "horizon")
