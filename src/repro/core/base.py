@@ -148,6 +148,17 @@ class BaseForecaster(BaseEstimator):
     2-D array whose columns are time series, ``predict(horizon)`` returns a
     2-D array with ``horizon`` rows (future values) and one column per input
     series, and ``score`` evaluates SMAPE-based accuracy on held-out data.
+
+    **Thread-safety contract**: forecasters are *read-only after fit* —
+    ``predict`` (and a pipeline's ``inverse_transform`` chain) must not
+    mutate fitted state, so any number of threads may call ``predict`` on
+    one fitted estimator concurrently.  The serving layer's micro-batcher
+    relies on this to overlap flushes of a hot model on its worker pool.
+    Every in-tree predictor honors the contract (rolled windows and
+    recursive forecasts work on local copies; verified by an AST audit of
+    ``self`` writes plus the concurrency regression test in
+    ``tests/test_serve.py``); a custom forecaster that must mutate state
+    in ``predict`` has to do its own locking and should not be served.
     """
 
     #: default number of future steps produced when ``predict`` is called

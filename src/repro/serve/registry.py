@@ -1,0 +1,234 @@
+"""Hydration registry: LRU model cache with single-flight store loads.
+
+A serving replica fields many concurrent requests for few distinct
+models, so the registry's job is to make hydration **amortized free**:
+
+- **LRU cache** — hydrated models are kept per digest up to ``capacity``;
+  the least recently used snapshot is dropped when an eviction is needed
+  (its forecast state is just a store read away).
+- **Single-flight dedup** — when a cold digest is requested by many
+  callers at once, exactly one performs the store load; the rest block on
+  the same in-flight result instead of multiplying the store traffic by
+  the request concurrency.  A failed load fails every waiter of that
+  flight, but the *next* request starts a fresh flight — a transient
+  store blip is not sticky.
+- **Healing** — loads run under a shared
+  :class:`~repro.resilience.RetryPolicy` and a
+  :class:`~repro.resilience.CircuitBreaker`: transient store failures are
+  retried with jittered backoff; consecutive exhausted loads trip the
+  breaker so an unreachable store fails requests in microseconds
+  (:class:`~repro.store.CircuitOpenError` → HTTP 503 upstream) instead of
+  each paying the full retry budget.  A genuinely missing snapshot
+  (:class:`~repro.serve.snapshot.SnapshotNotFoundError`) is *not* a store
+  failure: it is never retried and never trips the breaker.
+
+The registry is thread-safe and synchronous; the asyncio front end calls
+it through its executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..resilience import CircuitBreaker, RetryPolicy
+from ..store import CircuitOpenError, StoreBackend, StoreError
+from .snapshot import SnapshotNotFoundError, hydrate_model
+
+__all__ = ["ModelRegistry", "RegistryStats"]
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """Counter snapshot of one registry (wire-stats style)."""
+
+    hits: int
+    loads: int
+    load_failures: int
+    single_flight_waits: int
+    evictions: int
+    cached: int
+    breaker_state: str
+
+
+class _Flight:
+    """One in-flight hydration shared by every concurrent requester."""
+
+    __slots__ = ("done", "model", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.model: Any = None
+        self.error: BaseException | None = None
+
+
+class ModelRegistry:
+    """Digest-addressed cache of hydrated models over one store backend.
+
+    Parameters
+    ----------
+    backend:
+        Store holding the snapshots (any :class:`~repro.store.StoreBackend`).
+    capacity:
+        Hydrated models kept resident; the least recently used is evicted
+        beyond that.
+    retry_policy:
+        Retry budget of one hydration against transient store failures.
+    breaker_failures / breaker_reset_after:
+        Consecutive exhausted hydrations that trip the circuit open, and
+        the cooldown before a half-open probe.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        capacity: int = 8,
+        retry_policy: RetryPolicy | None = None,
+        breaker_failures: int = 5,
+        breaker_reset_after: float = 15.0,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.backend = backend
+        self.capacity = int(capacity)
+        self.retry_policy = retry_policy or RetryPolicy(attempts=3, base_backoff=0.05)
+        self._breaker = CircuitBreaker(
+            failure_threshold=breaker_failures, reset_after=breaker_reset_after
+        )
+        self._lock = threading.Lock()
+        self._models: OrderedDict[str, Any] = OrderedDict()
+        self._flights: dict[str, _Flight] = {}
+        self._hits = 0
+        self._loads = 0
+        self._load_failures = 0
+        self._waits = 0
+        self._evictions = 0
+
+    # -- lookup ----------------------------------------------------------------
+    def get(self, digest: str) -> Any:
+        """Return the hydrated model for ``digest`` (loading it if cold).
+
+        Raises :class:`~repro.serve.snapshot.SnapshotNotFoundError` for
+        unknown digests, :class:`~repro.store.CircuitOpenError` while the
+        hydration circuit is open, and :class:`~repro.store.StoreError`
+        when a load exhausts its retry budget.
+        """
+        with self._lock:
+            model = self._models.get(digest)
+            if model is not None:
+                self._models.move_to_end(digest)
+                self._hits += 1
+                return model
+            flight = self._flights.get(digest)
+            if flight is None:
+                flight = _Flight()
+                self._flights[digest] = flight
+                leader = True
+            else:
+                leader = False
+                self._waits += 1
+        if leader:
+            return self._lead_flight(digest, flight)
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.model
+
+    def peek(self, digest: str) -> Any | None:
+        """Cached model or ``None`` — never touches the store."""
+        with self._lock:
+            return self._models.get(digest)
+
+    # -- loading ---------------------------------------------------------------
+    def _lead_flight(self, digest: str, flight: _Flight) -> Any:
+        try:
+            model = self._load(digest)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._flights.pop(digest, None)
+                self._load_failures += 1
+            flight.done.set()
+            raise
+        flight.model = model
+        with self._lock:
+            self._flights.pop(digest, None)
+            self._models[digest] = model
+            self._models.move_to_end(digest)
+            self._loads += 1
+            while len(self._models) > self.capacity:
+                self._models.popitem(last=False)
+                self._evictions += 1
+        flight.done.set()
+        return model
+
+    def _load(self, digest: str) -> Any:
+        if not self._breaker.allow():
+            raise CircuitOpenError(
+                f"model hydration circuit open ({self.backend.describe()})"
+            )
+        policy = self.retry_policy
+        last_error: Exception | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                policy.sleep(attempt - 1)
+            try:
+                model = hydrate_model(self.backend, digest)
+            except SnapshotNotFoundError:
+                # Backends degrade store outages to misses; distinguish "the
+                # store is down" (a breaker-worthy transport failure) from
+                # "this snapshot genuinely does not exist" (a caller error
+                # that must not poison the circuit for everyone else).
+                healthy = getattr(self.backend, "healthy", None)
+                if healthy is not None and not healthy():
+                    last_error = StoreError(
+                        f"store unreachable while hydrating {digest} "
+                        f"({self.backend.describe()})"
+                    )
+                    continue
+                self._breaker.record_success()
+                raise
+            except CircuitOpenError:
+                # The backend's own transport breaker is open: same
+                # degraded state as ours, don't double-count it.
+                raise
+            except (StoreError, OSError) as exc:
+                last_error = exc
+                continue
+            self._breaker.record_success()
+            return model
+        self._breaker.record_failure()
+        raise StoreError(
+            f"hydrating snapshot {digest} failed after {policy.attempts} "
+            f"attempts: {last_error}"
+        )
+
+    # -- maintenance -----------------------------------------------------------
+    def evict(self, digest: str) -> None:
+        with self._lock:
+            if self._models.pop(digest, None) is not None:
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._models.clear()
+
+    def stats(self) -> RegistryStats:
+        with self._lock:
+            return RegistryStats(
+                hits=self._hits,
+                loads=self._loads,
+                load_failures=self._load_failures,
+                single_flight_waits=self._waits,
+                evictions=self._evictions,
+                cached=len(self._models),
+                breaker_state=self._breaker.state,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelRegistry(backend={self.backend.describe()!r}, "
+            f"capacity={self.capacity}, cached={len(self._models)})"
+        )

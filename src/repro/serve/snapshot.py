@@ -1,0 +1,259 @@
+"""Content-addressed model snapshots: fitted pipelines as store objects.
+
+A snapshot is two kinds of store object, reusing the families every
+backend already implements:
+
+- **Payload chunks** — the pickled fitted model split into fixed-size
+  chunks published as content-addressed ``uint8`` blobs
+  (``put_blob``/``get_blob``), so a model shared by two snapshots (or two
+  replicas hydrating the same model) transfers and stores each byte run
+  exactly once.  Blob reads are digest-verified by the backends.
+- **Manifest record** — a small JSON record (``put``/``get``) naming the
+  chunk digests, sizes and a digest of the whole payload.  The **snapshot
+  digest** is the digest of the canonical manifest text, so identical
+  fitted bytes always produce the identical snapshot digest on any host.
+
+Model *names* are one mutable document per model
+(``models/<name>``, see :func:`model_doc_name`): a tiny CAS-versioned
+JSON pointer ``{"digest": ..., "version": N}`` updated through the
+backend's :meth:`~repro.store.StoreBackend.update_doc` lease primitive.
+Publishing a re-ranked winner is one conditional update; serving replicas
+watch the document and hot-swap when ``version`` moves.  Two racing
+publishers are serialized by the store's CAS — versions never collide and
+the loser's update lands on top of the winner's.
+
+Pickle is the serialization format on purpose: snapshots are produced and
+consumed by the same trusted codebase that already ships pickled tasks
+between its own workers (``repro.exec.remote``).  Never hydrate a
+snapshot from an untrusted store.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..store import StoreBackend, array_digest, text_digest
+
+__all__ = [
+    "ModelSnapshot",
+    "PublishedModel",
+    "SnapshotNotFoundError",
+    "SnapshotIntegrityError",
+    "snapshot_model",
+    "hydrate_model",
+    "publish_model",
+    "resolve_model",
+    "model_doc_name",
+]
+
+#: Version stamp of the manifest layout; hydration refuses other versions
+#: loudly instead of misinterpreting them.
+SNAPSHOT_SCHEMA = 1
+
+#: Default payload chunk size.  Small models fit one chunk; a chunked
+#: layout keeps any single blob transfer bounded and lets two snapshots
+#: that share a prefix (e.g. re-publishing an unchanged model) dedup
+#: chunk-for-chunk through ``has_blob``.
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
+
+#: Default document namespace for published model pointers.
+DEFAULT_DOC_PREFIX = "models"
+
+
+class SnapshotNotFoundError(KeyError):
+    """No snapshot manifest (or payload chunk) exists for the digest."""
+
+
+class SnapshotIntegrityError(ValueError):
+    """A hydrated payload does not hash back to its manifest digests."""
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """Address and manifest of one published snapshot."""
+
+    digest: str
+    manifest: dict
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(self.manifest["payload_bytes"])
+
+    @property
+    def model_class(self) -> str:
+        return str(self.manifest["model_class"])
+
+
+@dataclass(frozen=True)
+class PublishedModel:
+    """Result of pointing a model document at a snapshot."""
+
+    name: str
+    digest: str
+    version: int
+    snapshot: ModelSnapshot
+
+
+def _canonical_manifest_text(manifest: dict) -> str:
+    return json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_model(
+    model: Any,
+    backend: StoreBackend,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> ModelSnapshot:
+    """Serialize a fitted model into content-addressed store objects.
+
+    Returns the snapshot whose ``digest`` any replica can hydrate via
+    :func:`hydrate_model`.  Chunks the backend already holds are not
+    re-uploaded (``has_blob`` dedup), so re-snapshotting an unchanged
+    model costs one manifest write.
+    """
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    chunks: list[dict] = []
+    for start in range(0, len(payload), int(chunk_bytes)) or [0]:
+        chunk = np.frombuffer(payload[start : start + int(chunk_bytes)], dtype=np.uint8)
+        digest = array_digest(chunk)
+        if not backend.has_blob(digest) and not backend.put_blob(digest, chunk):
+            raise OSError(f"store refused snapshot chunk {digest} ({backend.describe()})")
+        chunks.append({"digest": digest, "bytes": int(chunk.nbytes)})
+    manifest = {
+        "kind": "model-snapshot",
+        "schema": SNAPSHOT_SCHEMA,
+        "format": "pickle",
+        "model_class": type(model).__qualname__,
+        "payload_bytes": len(payload),
+        "payload_digest": text_digest(payload),
+        "chunks": chunks,
+    }
+    snapshot_digest = text_digest(_canonical_manifest_text(manifest))
+    if not backend.put(snapshot_digest, manifest):
+        raise OSError(f"store refused snapshot manifest ({backend.describe()})")
+    return ModelSnapshot(digest=snapshot_digest, manifest=manifest)
+
+
+def hydrate_model(backend: StoreBackend, digest: str) -> Any:
+    """Load and unpickle the snapshot published under ``digest``.
+
+    Raises :class:`SnapshotNotFoundError` when the manifest or any chunk
+    is missing, and :class:`SnapshotIntegrityError` when the reassembled
+    payload does not hash back to the manifest — a truncated or tampered
+    snapshot must never unpickle into a half-wrong model.
+    """
+    manifest = backend.get(digest)
+    if not isinstance(manifest, dict) or manifest.get("kind") != "model-snapshot":
+        raise SnapshotNotFoundError(f"no model snapshot {digest!r} in {backend.describe()}")
+    if manifest.get("schema") != SNAPSHOT_SCHEMA:
+        raise SnapshotIntegrityError(
+            f"snapshot {digest} has schema {manifest.get('schema')!r}, "
+            f"this library reads schema {SNAPSHOT_SCHEMA}"
+        )
+    parts: list[bytes] = []
+    for chunk in manifest["chunks"]:
+        array = backend.get_blob(chunk["digest"])
+        if array is None:
+            raise SnapshotNotFoundError(
+                f"snapshot {digest} chunk {chunk['digest']} missing from {backend.describe()}"
+            )
+        parts.append(np.ascontiguousarray(array, dtype=np.uint8).tobytes())
+    payload = b"".join(parts)
+    if len(payload) != int(manifest["payload_bytes"]) or (
+        text_digest(payload) != manifest["payload_digest"]
+    ):
+        raise SnapshotIntegrityError(
+            f"snapshot {digest} payload does not hash back to its manifest "
+            f"({len(payload)} bytes hydrated, {manifest['payload_bytes']} expected)"
+        )
+    return pickle.loads(payload)
+
+
+def model_doc_name(name: str, doc_prefix: str = DEFAULT_DOC_PREFIX) -> str:
+    """Document name of one published model pointer.
+
+    On the object store this is the literal document name (quoted into
+    ``/docs/models%2F<name>``); on the local filesystem it is a path, so
+    callers serving from a directory pass an absolute ``doc_prefix``.
+    """
+    if not name or any(sep in name for sep in ("/", "\\", "\0")):
+        raise ValueError(f"model names must be non-empty path segments, got {name!r}")
+    return f"{doc_prefix}/{name}"
+
+
+def publish_model(
+    model: Any,
+    backend: StoreBackend,
+    name: str,
+    doc_prefix: str = DEFAULT_DOC_PREFIX,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> PublishedModel:
+    """Snapshot ``model`` and point the named model document at it.
+
+    The document update is a CAS transaction: the version increments over
+    whatever is currently published, so two racing publishers serialize
+    and watchers see every transition.  Re-publishing the digest already
+    current keeps the version unchanged (idempotent deploys).
+    """
+    snapshot = snapshot_model(model, backend, chunk_bytes=chunk_bytes)
+    doc = model_doc_name(name, doc_prefix)
+    result: dict = {}
+
+    def transition(current: str | None) -> str:
+        version = 1
+        if current:
+            try:
+                previous = json.loads(current)
+                if previous.get("digest") == snapshot.digest:
+                    result.update(previous)
+                    return current
+                version = int(previous.get("version", 0)) + 1
+            except (ValueError, TypeError):
+                version = 1  # unreadable pointer: start a fresh lineage
+        result.clear()
+        result.update(
+            {
+                "schema": SNAPSHOT_SCHEMA,
+                "name": name,
+                "digest": snapshot.digest,
+                "version": version,
+                "model_class": snapshot.model_class,
+                "payload_bytes": snapshot.payload_bytes,
+            }
+        )
+        return json.dumps(result, sort_keys=True)
+
+    backend.update_doc(doc, transition)
+    return PublishedModel(
+        name=name,
+        digest=str(result["digest"]),
+        version=int(result["version"]),
+        snapshot=snapshot,
+    )
+
+
+def resolve_model(
+    backend: StoreBackend,
+    name: str,
+    doc_prefix: str = DEFAULT_DOC_PREFIX,
+) -> tuple[str, int] | None:
+    """Current ``(digest, version)`` of a published model, or ``None``.
+
+    Unreadable pointer documents resolve to ``None`` rather than raising:
+    to a serving replica a torn pointer and a missing one both mean "keep
+    serving what you have".
+    """
+    text = backend.read_doc(model_doc_name(name, doc_prefix))
+    if not text:
+        return None
+    try:
+        doc = json.loads(text)
+        return str(doc["digest"]), int(doc["version"])
+    except (ValueError, TypeError, KeyError):
+        return None

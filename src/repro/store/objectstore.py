@@ -6,9 +6,15 @@ server honoring the same S3-style verbs): content-addressed GET/PUT/HEAD
 for records and blobs, ETag-conditional PUT for documents.  Design
 points:
 
-- **Connection pooling** — one persistent HTTP/1.1 connection per thread
-  (benchmark runners and shard workers are thread-fanned), reconnected
-  transparently when a keep-alive connection goes stale.
+- **Connection pooling** — a shared, bounded pool of persistent HTTP/1.1
+  connections checked out per request and returned after it, so *any*
+  thread reuses a warm connection.  (The pool used to be per-thread
+  ``threading.local`` affinity, which broke down in asyncio contexts:
+  every ``run_in_executor`` worker thread — and every short-lived thread
+  of a default executor — opened and stranded its own socket.  A stranded
+  keep-alive connection was only reclaimed at GC; a serving replica
+  hydrating through rotating executor threads leaked one socket per
+  thread.)  Stale keep-alive connections are reconnected transparently.
 - **Bounded retry with jitter** — transient transport errors and 5xx
   responses are retried under a shared :class:`~repro.resilience.
   RetryPolicy` (bounded attempts, exponential backoff, full jitter);
@@ -74,6 +80,8 @@ class StoreTransportStats:
     requests: int = 0
     retries: int = 0
     exhausted: int = 0
+    connections_opened: int = 0
+    pooled_idle: int = 0
     breaker: BreakerStats = BreakerStats(state="closed", consecutive_failures=0)
 
 
@@ -120,6 +128,11 @@ class ObjectStoreBackend(StoreBackend):
     breaker_failures / breaker_reset_after:
         Consecutive exhausted requests that trip the circuit open, and
         the open-state cooldown before a half-open probe.
+    pool_size:
+        Idle keep-alive connections retained for reuse.  Concurrency is
+        *not* capped at this bound — a burst beyond it opens extra
+        connections that are closed instead of pooled when they come
+        back — it only bounds what stays warm.
     """
 
     def __init__(
@@ -133,6 +146,7 @@ class ObjectStoreBackend(StoreBackend):
         retry_policy: RetryPolicy | None = None,
         breaker_failures: int = 5,
         breaker_reset_after: float = 10.0,
+        pool_size: int = 8,
     ):
         parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("", "http"):
@@ -151,6 +165,7 @@ class ObjectStoreBackend(StoreBackend):
         )
         self.breaker_failures = int(breaker_failures)
         self.breaker_reset_after = float(breaker_reset_after)
+        self.pool_size = int(pool_size)
         if schema_version is None:
             from ..exec.store import SCHEMA_VERSION
 
@@ -160,7 +175,11 @@ class ObjectStoreBackend(StoreBackend):
 
     def _init_runtime(self) -> None:
         """(Re)create the per-process state: pool, breaker, counters."""
-        self._local = threading.local()
+        # Backward-compat shim: ``pool_size`` postdates pickled configs.
+        self.pool_size = int(getattr(self, "pool_size", 8))
+        self._pool_lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._opened = 0
         self._breaker = CircuitBreaker(
             failure_threshold=self.breaker_failures,
             reset_after=self.breaker_reset_after,
@@ -173,7 +192,16 @@ class ObjectStoreBackend(StoreBackend):
     # -- pickling (pool, breaker and counters stay home) -----------------------
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        for runtime in ("_local", "_breaker", "_stats_lock", "_requests", "_retry_count", "_exhausted"):
+        for runtime in (
+            "_pool_lock",
+            "_idle",
+            "_opened",
+            "_breaker",
+            "_stats_lock",
+            "_requests",
+            "_retry_count",
+            "_exhausted",
+        ):
             state.pop(runtime, None)
         return state
 
@@ -186,30 +214,41 @@ class ObjectStoreBackend(StoreBackend):
     @property
     def transport_stats(self) -> StoreTransportStats:
         """Snapshot of request/retry counters and breaker state."""
+        with self._pool_lock:
+            opened, idle = self._opened, len(self._idle)
         with self._stats_lock:
             return StoreTransportStats(
                 requests=self._requests,
                 retries=self._retry_count,
                 exhausted=self._exhausted,
+                connections_opened=opened,
+                pooled_idle=idle,
                 breaker=self._breaker.stats(),
             )
 
     # -- transport -------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        conn = getattr(self._local, "conn", None)
-        if conn is None:
-            conn = _PooledConnection(self.host, self.port, timeout=self.timeout)
-            self._local.conn = conn
-        return conn
+    def _acquire_connection(self) -> http.client.HTTPConnection:
+        """Check a pooled connection out (or open a fresh one)."""
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop()
+            self._opened += 1
+        return _PooledConnection(self.host, self.port, timeout=self.timeout)
 
-    def _drop_connection(self) -> None:
-        conn = getattr(self._local, "conn", None)
-        if conn is not None:
-            try:
-                conn.close()
-            except OSError:
-                pass
-            self._local.conn = None
+    def _release_connection(self, conn: http.client.HTTPConnection) -> None:
+        """Return a healthy keep-alive connection for any thread to reuse."""
+        with self._pool_lock:
+            if len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+        self._discard_connection(conn)
+
+    @staticmethod
+    def _discard_connection(conn: http.client.HTTPConnection) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     def _request(
         self,
@@ -247,25 +286,26 @@ class ObjectStoreBackend(StoreBackend):
             if injected is not None and injected.action == "error":
                 # Simulated transport failure: consumes retry budget
                 # exactly like a refused connection would.
-                self._drop_connection()
                 last_error = ConnectionError(f"injected transport fault ({method} {path})")
                 continue
-            conn = self._connection()
+            conn = self._acquire_connection()
             try:
                 conn.request(method, url, body=body, headers=headers or {})
                 response = conn.getresponse()
                 payload = response.read()
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
                 # A stale keep-alive connection and a dead server look the
-                # same here; reconnect and let the retry budget decide.
-                self._drop_connection()
+                # same here; discard and let the retry budget decide.
+                self._discard_connection(conn)
                 last_error = exc
                 continue
             if response.will_close:
                 # The server asked to close (e.g. an error reply sent
                 # before it drained our body): the connection is not
-                # reusable, so retire it before the next request trips.
-                self._drop_connection()
+                # reusable, so retire it instead of pooling it.
+                self._discard_connection(conn)
+            else:
+                self._release_connection(conn)
             if response.status in _RETRYABLE_STATUSES:
                 if attempt < policy.retries:
                     last_error = StoreError(f"{method} {url} -> {response.status}")
@@ -422,7 +462,11 @@ class ObjectStoreBackend(StoreBackend):
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        self._drop_connection()
+        """Close every idle pooled connection (the backend stays usable)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            self._discard_connection(conn)
 
     def healthy(self) -> bool:
         """True when the server answers its health route."""
