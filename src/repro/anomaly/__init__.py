@@ -12,8 +12,19 @@ existing forecasting substrates:
   extreme studentised deviate detector in the spirit of Twitter's
   AnomalyDetection package, suitable for the NAB-style monitoring traces in
   the benchmark suite.
+* :class:`ResidualDriftWatcher` — the online counterpart: a stateful
+  observer fed one forecast residual per arrival that reports sustained
+  regime change (:class:`DriftReport`), used by :mod:`repro.stream` to
+  trigger warm-started re-ranking.
 """
 
 from .detectors import AnomalyResult, ForecastResidualDetector, SeasonalESDDetector
+from .watch import DriftReport, ResidualDriftWatcher
 
-__all__ = ["AnomalyResult", "ForecastResidualDetector", "SeasonalESDDetector"]
+__all__ = [
+    "AnomalyResult",
+    "ForecastResidualDetector",
+    "SeasonalESDDetector",
+    "DriftReport",
+    "ResidualDriftWatcher",
+]

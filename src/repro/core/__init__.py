@@ -15,7 +15,7 @@ from .pipeline import ForecastingPipeline
 from .progress import ProgressReporter
 from .quality import QualityReport, check_data_quality, clean_data
 from .registry import PAPER_PIPELINE_NAMES, PipelineRegistry, default_pipeline_inventory
-from .tdaub import PipelineEvaluation, TDaub, TDaubResult
+from .tdaub import PipelineEvaluation, TDaub, TDaubResult, TDaubWarmState
 
 __all__ = [
     "AutoAITS",
@@ -40,5 +40,6 @@ __all__ = [
     "PAPER_PIPELINE_NAMES",
     "TDaub",
     "TDaubResult",
+    "TDaubWarmState",
     "PipelineEvaluation",
 ]

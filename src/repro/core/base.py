@@ -165,8 +165,36 @@ class BaseForecaster(BaseEstimator):
     #: without an explicit horizon.
     default_horizon: int = 1
 
+    #: True when :meth:`update` folds new observations into the fitted
+    #: state from sufficient statistics in O(len(X_new)); False means the
+    #: default full-refit fallback below.
+    supports_incremental_update: bool = False
+
     def fit(self, X, y=None) -> "BaseForecaster":  # pragma: no cover - interface
         raise NotImplementedError
+
+    def update(self, X_new, X_full=None) -> "BaseForecaster":
+        """Fold new trailing observations into the fitted state.
+
+        ``X_new`` holds only the rows that arrived *after* the data this
+        forecaster was fitted (or last updated) on, in temporal order.
+        Forecasters whose math allows it override this with a real
+        sufficient-statistics update — O(len(X_new)) work, parity with a
+        cold refit asserted by tests — and set
+        ``supports_incremental_update``.  This base implementation is the
+        verified fallback: a full refit on ``X_full``, the complete series
+        including ``X_new`` (callers that own an arrival buffer always
+        have it).  It raises when ``X_full`` is missing rather than guess
+        at history the estimator never stored.
+        """
+        check_is_fitted(self)
+        if X_full is None:
+            raise InvalidParameterError(
+                f"{type(self).__name__} has no incremental update; pass "
+                "X_full (the complete series including X_new) to use the "
+                "full-refit fallback."
+            )
+        return self.fit(X_full)
 
     def predict(self, horizon: int | None = None) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError

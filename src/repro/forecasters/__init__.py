@@ -12,13 +12,19 @@ from .arima import ARIMAForecaster, AutoARIMAForecaster
 from .bats import BATSForecaster
 from .ets import DoubleExponentialSmoothing, SimpleExponentialSmoothing
 from .holtwinters import HoltWintersForecaster
-from .naive import DriftForecaster, SeasonalNaiveForecaster, ZeroModelForecaster
+from .naive import (
+    DriftForecaster,
+    MeanForecaster,
+    SeasonalNaiveForecaster,
+    ZeroModelForecaster,
+)
 from .theta import ThetaForecaster
 
 __all__ = [
     "ZeroModelForecaster",
     "SeasonalNaiveForecaster",
     "DriftForecaster",
+    "MeanForecaster",
     "SimpleExponentialSmoothing",
     "DoubleExponentialSmoothing",
     "HoltWintersForecaster",

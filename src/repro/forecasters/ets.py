@@ -14,6 +14,17 @@ from scipy import optimize
 
 from .._validation import as_2d_array, check_horizon
 from ..core.base import BaseForecaster, check_is_fitted
+from ..exceptions import DataQualityError
+
+
+def _check_update_block(X_new, n_series: int) -> np.ndarray:
+    X_new = as_2d_array(X_new, name="X_new")
+    if X_new.shape[1] != n_series:
+        raise DataQualityError(
+            f"update block has {X_new.shape[1]} series, the fitted model has "
+            f"{n_series}."
+        )
+    return X_new
 
 __all__ = ["SimpleExponentialSmoothing", "DoubleExponentialSmoothing"]
 
@@ -45,6 +56,8 @@ def _holt_sse(params: np.ndarray, series: np.ndarray, damped: bool) -> float:
 class SimpleExponentialSmoothing(BaseForecaster):
     """Exponentially weighted level model (flat forecast function)."""
 
+    supports_incremental_update = True
+
     def __init__(self, alpha: float | None = None, horizon: int = 1):
         self.alpha = alpha
         self.horizon = horizon
@@ -72,6 +85,25 @@ class SimpleExponentialSmoothing(BaseForecaster):
         self.n_series_ = X.shape[1]
         return self
 
+    def update(self, X_new, X_full=None) -> "SimpleExponentialSmoothing":
+        """Continue the level recursion over the new rows, smoothing
+        parameters frozen at their fitted values.
+
+        With a fixed ``alpha`` this is byte-identical to a cold refit on
+        the concatenated series: the recursion is the same elementwise
+        IEEE expression over the same operands.  With auto-optimised
+        alpha a cold refit would re-optimise on the longer series; the
+        update deliberately keeps the fitted parameters (that is the O(Δ)
+        point) so forecasts agree only approximately there.
+        """
+        check_is_fitted(self, ("levels_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        levels = self.levels_
+        for row in X_new:
+            levels = self.alphas_ * row + (1 - self.alphas_) * levels
+        self.levels_ = levels
+        return self
+
     def predict(self, horizon: int | None = None) -> np.ndarray:
         check_is_fitted(self, ("levels_",))
         horizon = check_horizon(horizon if horizon is not None else self.horizon)
@@ -80,6 +112,8 @@ class SimpleExponentialSmoothing(BaseForecaster):
 
 class DoubleExponentialSmoothing(BaseForecaster):
     """Holt's linear (optionally damped) trend method."""
+
+    supports_incremental_update = True
 
     def __init__(
         self,
@@ -135,6 +169,26 @@ class DoubleExponentialSmoothing(BaseForecaster):
         self.levels_ = np.array([item[3] for item in fitted])
         self.trends_ = np.array([item[4] for item in fitted])
         self.n_series_ = X.shape[1]
+        return self
+
+    def update(self, X_new, X_full=None) -> "DoubleExponentialSmoothing":
+        """Continue Holt's level/trend recursion with frozen parameters.
+
+        Byte-identical to a cold refit when ``alpha``/``beta`` are fixed
+        (same elementwise recursion over the same operands); with
+        optimised parameters the update keeps the fitted values rather
+        than re-optimising — see :meth:`SimpleExponentialSmoothing.update`.
+        """
+        check_is_fitted(self, ("levels_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        levels, trends = self.levels_, self.trends_
+        alphas, betas, phis = self.alphas_, self.betas_, self.phis_
+        for row in X_new:
+            forecast = levels + phis * trends
+            new_levels = alphas * row + (1 - alphas) * forecast
+            trends = betas * (new_levels - levels) + (1 - betas) * phis * trends
+            levels = new_levels
+        self.levels_, self.trends_ = levels, trends
         return self
 
     def predict(self, horizon: int | None = None) -> np.ndarray:

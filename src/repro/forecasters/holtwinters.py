@@ -23,7 +23,14 @@ _SEASONAL_MODES = ("additive", "multiplicative")
 
 
 def _initial_state(series: np.ndarray, period: int, seasonal: str):
-    """Classical decomposition-style initial level, trend and seasonal terms."""
+    """Classical decomposition-style initial level, trend and seasonal terms.
+
+    Deliberately *prefix-stable*: only the first two seasons of data feed
+    the initial state, so appending observations to a series that already
+    covered two seasons leaves the initialization — and therefore any
+    continued recursion — identical to a cold refit's.  That property is
+    what makes :meth:`HoltWintersForecaster.update` exact.
+    """
     n_seasons = len(series) // period
     if n_seasons >= 2:
         first_season = series[:period]
@@ -35,7 +42,7 @@ def _initial_state(series: np.ndarray, period: int, seasonal: str):
         trend = float((series[-1] - series[0]) / max(len(series) - 1, 1))
 
     seasonals = np.zeros(period)
-    usable_seasons = max(n_seasons, 1)
+    usable_seasons = max(min(n_seasons, 2), 1)
     for offset in range(period):
         values = series[offset::period][:usable_seasons]
         season_mean = float(np.mean(values)) if len(values) else level
@@ -56,9 +63,25 @@ def _run_filter(
 ):
     """Run the smoothing recursions; return (sse, level, trend, seasonals)."""
     level, trend, seasonals = _initial_state(series, period, seasonal)
+    return _advance_filter(series, period, seasonal, alpha, beta, gamma, level, trend, seasonals)
+
+
+def _advance_filter(
+    series: np.ndarray,
+    period: int,
+    seasonal: str,
+    alpha: float,
+    beta: float,
+    gamma: float,
+    level: float,
+    trend: float,
+    seasonals: np.ndarray,
+    t0: int = 0,
+):
+    """Advance the recursion over ``series`` from state at time ``t0``."""
     seasonals = seasonals.copy()
     sse = 0.0
-    for t, value in enumerate(series):
+    for t, value in enumerate(series, start=t0):
         season_index = t % period
         if seasonal == "additive":
             forecast = level + trend + seasonals[season_index]
@@ -86,6 +109,10 @@ def _run_filter(
 class HoltWintersForecaster(BaseForecaster):
     """Triple exponential smoothing with additive or multiplicative seasonality.
 
+    Supports :meth:`update`: the state recursion continues over new rows
+    with frozen configuration (see the method's docstring for exactness
+    conditions).
+
     Parameters
     ----------
     seasonal:
@@ -97,6 +124,8 @@ class HoltWintersForecaster(BaseForecaster):
         Number of observations per season; discovered from the data via
         spectral analysis when ``None``.
     """
+
+    supports_incremental_update = True
 
     def __init__(
         self,
@@ -165,6 +194,43 @@ class HoltWintersForecaster(BaseForecaster):
             "seasonals": seasonals,
             "n_obs": len(series),
         }
+
+    def update(self, X_new, X_full=None) -> "HoltWintersForecaster":
+        """Continue each column's smoothing recursion over the new rows.
+
+        The model's configuration (seasonal mode, period, smoothing
+        parameters) is frozen at its fitted values; only the level, trend
+        and seasonal state advance.  Because :func:`_initial_state` is
+        prefix-stable, this is byte-identical to a cold refit when the
+        parameters are fixed, the original fit saw at least two full
+        seasons, and the period/seasonal-mode resolution would not change
+        on the longer series — the conditions the parity test pins.
+        """
+        check_is_fitted(self, ("models_",))
+        X_new = as_2d_array(X_new, name="X_new")
+        if X_new.shape[1] != self.n_series_:
+            raise InvalidParameterError(
+                f"update block has {X_new.shape[1]} series, the fitted model "
+                f"has {self.n_series_}."
+            )
+        for j, model in enumerate(self.models_):
+            _, level, trend, seasonals = _advance_filter(
+                X_new[:, j],
+                model["period"],
+                model["seasonal"],
+                model["alpha"],
+                model["beta"],
+                model["gamma"],
+                model["level"],
+                model["trend"],
+                model["seasonals"],
+                t0=model["n_obs"],
+            )
+            model["level"] = level
+            model["trend"] = trend
+            model["seasonals"] = seasonals
+            model["n_obs"] += len(X_new)
+        return self
 
     def fit(self, X, y=None) -> "HoltWintersForecaster":
         if self.seasonal not in _SEASONAL_MODES:

@@ -13,12 +13,31 @@ import numpy as np
 
 from .._validation import as_2d_array, check_horizon, check_positive_int
 from ..core.base import BaseForecaster, check_is_fitted
+from ..exceptions import DataQualityError
 
-__all__ = ["ZeroModelForecaster", "SeasonalNaiveForecaster", "DriftForecaster"]
+__all__ = [
+    "ZeroModelForecaster",
+    "SeasonalNaiveForecaster",
+    "DriftForecaster",
+    "MeanForecaster",
+]
+
+
+def _check_update_block(X_new, n_series: int) -> "np.ndarray":
+    """Validate an update block: 2-D, temporal order, same series count."""
+    X_new = as_2d_array(X_new, name="X_new")
+    if X_new.shape[1] != n_series:
+        raise DataQualityError(
+            f"update block has {X_new.shape[1]} series, the fitted model has "
+            f"{n_series}."
+        )
+    return X_new
 
 
 class ZeroModelForecaster(BaseForecaster):
     """Repeat the last observed value of every series over the horizon."""
+
+    supports_incremental_update = True
 
     def __init__(self, horizon: int = 1):
         self.horizon = horizon
@@ -27,6 +46,13 @@ class ZeroModelForecaster(BaseForecaster):
         X = as_2d_array(X)
         self.last_values_ = X[-1].copy()
         self.n_series_ = X.shape[1]
+        return self
+
+    def update(self, X_new, X_full=None) -> "ZeroModelForecaster":
+        """O(1) update: only the newest row matters (byte-identical to refit)."""
+        check_is_fitted(self, ("last_values_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        self.last_values_ = X_new[-1].copy()
         return self
 
     def predict(self, horizon: int | None = None) -> np.ndarray:
@@ -46,6 +72,8 @@ class SeasonalNaiveForecaster(BaseForecaster):
         self.seasonal_period = seasonal_period
         self.horizon = horizon
 
+    supports_incremental_update = True
+
     def fit(self, X, y=None) -> "SeasonalNaiveForecaster":
         period = check_positive_int(self.seasonal_period, "seasonal_period")
         X = as_2d_array(X)
@@ -54,6 +82,24 @@ class SeasonalNaiveForecaster(BaseForecaster):
         else:
             self.last_season_ = np.tile(X[-1], (period, 1))
         self.n_series_ = X.shape[1]
+        self.n_obs_ = len(X)
+        # Observed (not tiled) trailing rows, up to one season: the state
+        # update() needs to reproduce a cold refit exactly.
+        self._tail_ = X[-period:].copy()
+        return self
+
+    def update(self, X_new, X_full=None) -> "SeasonalNaiveForecaster":
+        """O(period) update: roll the observed tail (byte-identical to refit)."""
+        check_is_fitted(self, ("last_season_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        period = check_positive_int(self.seasonal_period, "seasonal_period")
+        tail = np.vstack([self._tail_, X_new])[-period:]
+        self.n_obs_ += len(X_new)
+        self._tail_ = tail
+        if self.n_obs_ >= period:
+            self.last_season_ = tail.copy()
+        else:
+            self.last_season_ = np.tile(tail[-1], (period, 1))
         return self
 
     def predict(self, horizon: int | None = None) -> np.ndarray:
@@ -68,12 +114,16 @@ class SeasonalNaiveForecaster(BaseForecaster):
 class DriftForecaster(BaseForecaster):
     """Extrapolate the average first difference (random walk with drift)."""
 
+    supports_incremental_update = True
+
     def __init__(self, horizon: int = 1):
         self.horizon = horizon
 
     def fit(self, X, y=None) -> "DriftForecaster":
         X = as_2d_array(X)
         self.last_values_ = X[-1].copy()
+        self.first_values_ = X[0].copy()
+        self.n_obs_ = len(X)
         if len(X) > 1:
             self.drift_ = (X[-1] - X[0]) / (len(X) - 1)
         else:
@@ -81,8 +131,61 @@ class DriftForecaster(BaseForecaster):
         self.n_series_ = X.shape[1]
         return self
 
+    def update(self, X_new, X_full=None) -> "DriftForecaster":
+        """O(1) update from (first value, count): byte-identical to a refit —
+        the drift is the same ``(last - first) / (n - 1)`` expression on the
+        same operand bytes."""
+        check_is_fitted(self, ("last_values_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        self.n_obs_ += len(X_new)
+        self.last_values_ = X_new[-1].copy()
+        if self.n_obs_ > 1:
+            self.drift_ = (self.last_values_ - self.first_values_) / (self.n_obs_ - 1)
+        return self
+
     def predict(self, horizon: int | None = None) -> np.ndarray:
         check_is_fitted(self, ("last_values_",))
         horizon = check_horizon(horizon if horizon is not None else self.horizon)
         steps = np.arange(1, horizon + 1).reshape(-1, 1)
         return self.last_values_ + steps * self.drift_
+
+
+class MeanForecaster(BaseForecaster):
+    """Forecast the historical mean of every series.
+
+    Exists mainly as the simplest *sufficient-statistics* forecaster: the
+    fitted state is a per-series running sum and a count, so ``update`` is
+    O(len(X_new)) and exact up to float summation order (a cold refit sums
+    all rows in one vectorized pass, the incremental path adds block sums —
+    algebraically identical, associatively different).
+    """
+
+    supports_incremental_update = True
+
+    def __init__(self, horizon: int = 1):
+        self.horizon = horizon
+
+    def fit(self, X, y=None) -> "MeanForecaster":
+        X = as_2d_array(X)
+        self.sum_ = X.sum(axis=0)
+        self.n_obs_ = len(X)
+        self.mean_ = self.sum_ / self.n_obs_
+        self.n_series_ = X.shape[1]
+        return self
+
+    def update(self, X_new, X_full=None) -> "MeanForecaster":
+        check_is_fitted(self, ("mean_",))
+        X_new = _check_update_block(X_new, self.n_series_)
+        self.sum_ = self.sum_ + X_new.sum(axis=0)
+        self.n_obs_ += len(X_new)
+        self.mean_ = self.sum_ / self.n_obs_
+        return self
+
+    def predict(self, horizon: int | None = None) -> np.ndarray:
+        check_is_fitted(self, ("mean_",))
+        horizon = check_horizon(horizon if horizon is not None else self.horizon)
+        return np.tile(self.mean_, (horizon, 1))
+
+    @property
+    def name(self) -> str:
+        return "Mean"

@@ -121,10 +121,68 @@ class WindowRegressor(BaseForecaster):
 
         self._lookback_used = lookback
         self._n_series = n_series
+        # Context for update(): the trailing rows that participate in
+        # windows overlapping future arrivals.  With exactly
+        # ``lookback + target_horizon - 1`` retained rows, appending Δ new
+        # rows frames to exactly the Δ supervised windows a cold refit
+        # would add — no window is ever partial_fit twice.
+        context = min(n_samples, lookback + target_horizon - 1)
         if frame_input:
+            self._tail_rows_ = X.gather(n_samples - context, n_samples)
             self._last_window = X.gather(n_samples - lookback, n_samples)
         else:
+            self._tail_rows_ = X[-context:].copy() if context else X[:0].copy()
             self._last_window = X[-lookback:].copy()
+        return self
+
+    @property
+    def supports_incremental_update(self) -> bool:
+        """True when the wrapped regressor can fold in new windows.
+
+        Checked on the *template* regressor so schedulers can ask before
+        fitting; per-column clones share the capability.
+        """
+        base = self.regressor if self.regressor is not None else RandomForestRegressor()
+        return hasattr(base, "partial_fit")
+
+    def update(self, X_new, X_full=None) -> "WindowRegressor":
+        """Fold the Δ new supervised windows into each per-column model.
+
+        Only the windows that end inside ``X_new`` are framed (from the
+        retained tail context plus the new rows) and passed to
+        ``partial_fit`` — O(Δ · lookback) work.  Parity with a cold refit
+        is the regressor's own partial-fit contract: for
+        :class:`~repro.ml.linear.StreamingRidge` the accumulated moments
+        are algebraically those of a one-shot fit, equal up to float
+        summation order (documented there).  Regressors without
+        ``partial_fit`` fall back to the base full-refit path.
+        """
+        check_is_fitted(self, ("models_",))
+        if not all(hasattr(model, "partial_fit") for model in self.models_):
+            return super().update(X_new, X_full=X_full)
+        X_new = as_2d_array(X_new, name="X_new")
+        if X_new.shape[1] != self._n_series:
+            raise InvalidParameterError(
+                f"update block has {X_new.shape[1]} series, the fitted model "
+                f"has {self._n_series}."
+            )
+        target_horizon = int(self.horizon) if self.strategy == "direct" else 1
+        lookback = self._lookback_used
+        rows = np.vstack([np.asarray(self._tail_rows_, dtype=float), X_new])
+        n_windows = len(rows) - lookback - target_horizon + 1
+        if n_windows > 0:
+            features, all_targets = make_supervised_windows(rows, lookback, target_horizon)
+            all_targets = np.asarray(all_targets).reshape(
+                len(features), target_horizon, self._n_series
+            )
+            for column, model in enumerate(self.models_):
+                targets = np.ascontiguousarray(all_targets[:, :, column])
+                if target_horizon == 1:
+                    targets = targets.ravel()
+                model.partial_fit(features, targets)
+        context = lookback + target_horizon - 1
+        self._tail_rows_ = rows[-context:].copy() if context else rows[:0].copy()
+        self._last_window = rows[-lookback:].copy()
         return self
 
     def _predict_recursive(self, horizon: int) -> np.ndarray:

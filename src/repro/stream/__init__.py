@@ -1,0 +1,25 @@
+"""Incremental evaluation engine: O(Δ) streaming re-ranking.
+
+The batch engine treats every invocation as cold — appending Δ rows to a
+T-length series re-fingerprints, re-fits and re-ranks everything at
+O(T + Δ).  This package is the incremental path through every layer:
+
+- :class:`ArrivalBuffer` — an append-only series whose prefix bytes
+  never move, registered for incremental BLAKE2 prefix hashing
+  (:func:`repro.store.digest.register_append_base`) so fingerprinting
+  after an append costs O(Δ);
+- the :meth:`~repro.core.base.BaseForecaster.update` seam — deployed
+  winners absorb arrivals from sufficient statistics where the math
+  allows, with a verified full-refit fallback elsewhere;
+- :class:`StreamingEngine` — residual drift watching
+  (:class:`repro.anomaly.ResidualDriftWatcher`) over the deployed
+  winner's one-step-ahead errors, answered by a **warm-started**
+  rolling-origin T-Daub re-rank (``TDaub(warm_start=...)``) that serves
+  every unchanged-prefix evaluation cell from cache and optionally
+  publishes the refreshed winner to the serving layer's snapshot store.
+"""
+
+from .buffer import ArrivalBuffer
+from .engine import ArrivalReport, StreamingEngine
+
+__all__ = ["ArrivalBuffer", "ArrivalReport", "StreamingEngine"]
